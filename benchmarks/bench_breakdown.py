@@ -1,0 +1,26 @@
+"""Regenerates the §4.4 post-inline dynamic call breakdown.
+
+Paper: after inline expansion, the remaining dynamic calls split into
+external 56.1%, pointer 2.8%, unsafe 18.0%, safe 23.1% — externals
+(system calls) become the dominant residual, motivating the paper's
+closing discussion of system-call costs.
+"""
+
+from conftest import emit
+from repro.experiments.pipeline import aggregate_dynamic_breakdown
+from repro.experiments.tables import post_inline_breakdown
+from repro.inliner.classify import SiteClass
+
+
+def bench_breakdown(benchmark, suite_results):
+    text = benchmark.pedantic(
+        post_inline_breakdown, args=(suite_results,), iterations=1, rounds=1
+    )
+    emit("Post-inline dynamic call breakdown (paper 4.4)", text)
+
+    mix = aggregate_dynamic_breakdown(suite_results)
+    # Shape: externals are the largest class of the residual calls and
+    # pointer calls stay marginal, as in the paper.
+    assert mix[SiteClass.EXTERNAL] > 0.3
+    assert mix[SiteClass.EXTERNAL] >= mix[SiteClass.UNSAFE]
+    assert mix[SiteClass.POINTER] < 0.1

@@ -1,0 +1,57 @@
+"""Extension experiment: optimization scope enlargement (§1.2).
+
+The paper's compiler-side motivation: inline expansion "provides larger
+and specialized execution plans to the code optimizers". Quantified
+here with loop-invariant code motion: the dynamic instructions LICM
+removes grow several-fold once callee bodies are spliced into the
+callers' loops, because the callees' (previously hidden) address
+arithmetic becomes visibly invariant.
+"""
+
+from conftest import emit
+from repro.inliner.manager import inline_module
+from repro.opt import licm_module, optimize_module
+from repro.profiler.profile import profile_module, run_once
+from repro.workloads import benchmark_by_name
+
+
+def _measure(name):
+    benchmark = benchmark_by_name(name)
+    module = benchmark.compile()
+    optimize_module(module)
+    specs = benchmark.make_runs("small")[:2]
+    profile = profile_module(module, specs)
+
+    def total_ils(m):
+        return sum(run_once(m, spec).counters.il for spec in specs)
+
+    plain_licm = module.clone()
+    licm_module(plain_licm)
+    optimize_module(plain_licm)
+
+    inlined = inline_module(module, profile).module
+    inlined_licm = inlined.clone()
+    licm_module(inlined_licm)
+    optimize_module(inlined_licm)
+
+    saved_before = total_ils(module) - total_ils(plain_licm)
+    saved_after = total_ils(inlined) - total_ils(inlined_licm)
+    return name, saved_before, saved_after
+
+
+def _run_experiment():
+    return [_measure(name) for name in ("compress", "eqn", "grep")]
+
+
+def bench_licm_synergy(benchmark):
+    rows = benchmark.pedantic(_run_experiment, iterations=1, rounds=1)
+
+    lines = ["benchmark   LICM savings (ILs): plain    after-inlining"]
+    for name, before, after in rows:
+        lines.append(f"{name:10s}  {before:10d}    {after:10d}")
+    emit("LICM savings before vs. after inline expansion", "\n".join(lines))
+
+    for name, before, after in rows:
+        assert after > before, name  # inlining widens LICM's scope
+    # And decisively so on at least one benchmark.
+    assert any(after > 3 * max(before, 1) for _, before, after in rows)

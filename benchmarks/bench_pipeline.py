@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the toolchain's stages (wall-clock).
+
+Not a paper table — these time the reproduction's own kernels so
+regressions in the compiler, profiler VM, and expander are visible.
+"""
+
+import pytest
+
+from repro.inliner.manager import inline_module
+from repro.opt import optimize_module
+from repro.profiler.profile import profile_module, run_once
+from repro.workloads import benchmark_by_name
+
+
+@pytest.fixture(scope="module")
+def grep_benchmark():
+    return benchmark_by_name("grep")
+
+
+@pytest.fixture(scope="module")
+def grep_module(grep_benchmark):
+    return grep_benchmark.compile()
+
+
+@pytest.fixture(scope="module")
+def grep_specs(grep_benchmark):
+    return grep_benchmark.make_runs("small")
+
+
+@pytest.fixture(scope="module")
+def grep_profile(grep_module, grep_specs):
+    return profile_module(grep_module, grep_specs)
+
+
+def bench_compile(benchmark, grep_benchmark):
+    module = benchmark(grep_benchmark.compile)
+    assert "main" in module.functions
+
+
+def bench_vm_execution(benchmark, grep_module, grep_specs):
+    result = benchmark(run_once, grep_module, grep_specs[0])
+    assert result.exit_code == 0
+
+
+def bench_profiling(benchmark, grep_module, grep_specs):
+    profile = benchmark.pedantic(
+        profile_module, args=(grep_module, grep_specs), iterations=1, rounds=3
+    )
+    assert profile.avg_calls > 0
+
+
+def bench_inline_expansion(benchmark, grep_module, grep_profile):
+    result = benchmark(inline_module, grep_module, grep_profile)
+    assert result.records
+
+
+def bench_optimizer(benchmark, grep_module):
+    def optimize_fresh():
+        module = grep_module.clone()
+        return optimize_module(module)
+
+    stats = benchmark(optimize_fresh)
+    assert stats.total_changes >= 0

@@ -1,0 +1,23 @@
+"""Regenerates Table 1: benchmark characteristics.
+
+Paper shape: twelve UNIX programs with widely varying static sizes and
+dynamic IL counts, and no direct relation between the two.
+"""
+
+from conftest import emit
+from repro.experiments.tables import table1
+
+
+def bench_table1(benchmark, suite_results):
+    text = benchmark.pedantic(
+        table1, args=(suite_results,), iterations=1, rounds=1
+    )
+    emit("Table 1. Benchmark characteristics", text)
+    lines = text.splitlines()
+    assert len(lines) == 3 + 12  # title + header + rule + 12 rows
+
+    # Shape check: dynamic size is not a function of static size.
+    rows = [line.split() for line in lines[3:]]
+    by_name = {row[0]: row for row in rows}
+    assert int(by_name["tee"][1]) < int(by_name["yacc"][1])  # C lines
+    assert by_name["lex"][3].endswith("K")

@@ -1,0 +1,35 @@
+"""Regenerates Table 2: static function call characteristics.
+
+Paper shape: large unsafe percentages (their average 65%), small safe
+percentages (their average 11%), external sites a sizeable minority,
+pointer sites rare.
+"""
+
+from conftest import emit
+from repro.experiments.tables import table2
+from repro.inliner.classify import SiteClass
+
+
+def bench_table2(benchmark, suite_results):
+    text = benchmark.pedantic(
+        table2, args=(suite_results,), iterations=1, rounds=1
+    )
+    emit("Table 2. Static function call characteristics", text)
+
+    import statistics
+
+    unsafe = statistics.fmean(
+        r.classified.static_fraction(SiteClass.UNSAFE) for r in suite_results
+    )
+    safe = statistics.fmean(
+        r.classified.static_fraction(SiteClass.SAFE) for r in suite_results
+    )
+    pointer = statistics.fmean(
+        r.classified.static_fraction(SiteClass.POINTER) for r in suite_results
+    )
+    # Shape: unsafe dominates the static sites, safe is the small
+    # minority, pointer sites are rare (paper: 65% / 11% / ~2%).
+    assert unsafe > 0.35
+    assert safe < 0.45
+    assert pointer < 0.10
+    assert unsafe > safe

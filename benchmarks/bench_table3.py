@@ -1,0 +1,36 @@
+"""Regenerates Table 3: dynamic function call behaviour.
+
+Paper shape: although few static sites are safe, safe sites carry most
+dynamic calls (their average 69%); unsafe dynamic percentages are
+"amazingly small"; wc/tee are external-dominated outliers with ~0% safe.
+"""
+
+import statistics
+
+from conftest import emit
+from repro.experiments.tables import table3
+from repro.inliner.classify import SiteClass
+
+
+def bench_table3(benchmark, suite_results):
+    text = benchmark.pedantic(
+        table3, args=(suite_results,), iterations=1, rounds=1
+    )
+    emit("Table 3. Dynamic function call behavior", text)
+
+    by_name = {r.name: r for r in suite_results}
+    safe_avg = statistics.fmean(
+        r.classified.dynamic_fraction(SiteClass.SAFE) for r in suite_results
+    )
+    unsafe_avg = statistics.fmean(
+        r.classified.dynamic_fraction(SiteClass.UNSAFE) for r in suite_results
+    )
+    # Paper: dynamic safe average ~69%, dynamic unsafe "amazingly small".
+    assert safe_avg > 0.5
+    assert unsafe_avg < 0.15
+    # wc and tee: function calls unimportant, almost everything external.
+    for name in ("wc", "tee"):
+        assert by_name[name].classified.dynamic_fraction(SiteClass.SAFE) < 0.05
+        assert by_name[name].classified.dynamic_fraction(SiteClass.EXTERNAL) > 0.9
+    # espresso exercises calls through pointers (### arcs).
+    assert by_name["espresso"].classified.dynamic[SiteClass.POINTER] > 0

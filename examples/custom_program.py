@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Bring your own C program: a word-frequency counter, end to end.
+
+Shows the pieces a downstream user would touch: the virtual file
+system, argv, the weighted call graph, hazard classification, and the
+selection decisions the cost function makes — including a recursion
+whose stack usage blocks inlining (§2.3.2).
+
+Run with ``python examples/custom_program.py``.
+"""
+
+from repro import InlineParameters, RunSpec, compile_program, profile_module, run_once
+from repro.callgraph import build_call_graph, recursive_functions
+from repro.inliner import classify_sites, SiteClass
+from repro.inliner.manager import inline_module
+
+SOURCE = """
+#include <sys.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXWORDS 64
+#define WORDLEN 16
+
+char words[MAXWORDS][WORDLEN];
+int counts[MAXWORDS];
+int nwords = 0;
+
+int find_word(char *word)
+{
+    int i;
+    for (i = 0; i < nwords; i++) {
+        if (strcmp(words[i], word) == 0)
+            return i;
+    }
+    return -1;
+}
+
+void add_word(char *word)
+{
+    int slot = find_word(word);
+    if (slot >= 0) {
+        counts[slot]++;
+        return;
+    }
+    if (nwords < MAXWORDS) {
+        strcpy(words[nwords], word);
+        counts[nwords] = 1;
+        nwords++;
+    }
+}
+
+/* Deliberately deep recursion with a big frame: the expander must
+   refuse to inline this into the recursive path (stack hazard). */
+int deep_sum(int n)
+{
+    char scratch[2048];
+    scratch[0] = n;
+    if (n <= 0)
+        return scratch[0];
+    return n + deep_sum(n - 1);
+}
+
+int main(int argc, char **argv)
+{
+    int fd = open(argv[1], O_READ);
+    char word[WORDLEN];
+    int n = 0;
+    int c = fgetc(fd);
+    int i;
+    while (c != EOF) {
+        if (isalpha(c)) {
+            if (n < WORDLEN - 1) {
+                word[n] = tolower(c);
+                n++;
+            }
+        } else if (n > 0) {
+            word[n] = 0;
+            add_word(word);
+            n = 0;
+        }
+        c = fgetc(fd);
+    }
+    close(fd);
+    for (i = 0; i < nwords; i++) {
+        if (counts[i] > 1) {
+            print_str(words[i]);
+            putchar(' ');
+            print_int(counts[i]);
+            putchar('\\n');
+        }
+    }
+    print_int(deep_sum(20));
+    putchar('\\n');
+    return 0;
+}
+"""
+
+TEXT = b"""the compiler expands the function and the function disappears
+the calls that remain are the system calls the compiler cannot see
+"""
+
+
+def main() -> None:
+    module = compile_program(SOURCE)
+    spec = RunSpec(files={"essay.txt": TEXT}, argv=["essay.txt"])
+    print(run_once(module, spec).stdout)
+
+    profile = profile_module(module, [spec])
+    graph = build_call_graph(module, profile)
+    print("recursive functions:", sorted(
+        name for name in recursive_functions(graph)
+        if name in ("deep_sum", "find_word", "add_word")
+    ))
+
+    params = InlineParameters(stack_bound=1024)
+    classified = classify_sites(module, graph, profile, params)
+    for site, site_class in sorted(classified.by_site.items()):
+        arc = graph.arcs[site]
+        if arc.callee == "deep_sum" or arc.caller == "deep_sum":
+            print(f"  site {site}: {arc.caller} -> {arc.callee}: {site_class.value}")
+
+    result = inline_module(module, profile, params)
+    expanded_callees = sorted({record.callee for record in result.records})
+    print("inlined callees:", expanded_callees)
+    assert "deep_sum" not in expanded_callees, "stack hazard must block deep_sum"
+
+    after = run_once(result.module, spec)
+    assert after.stdout == run_once(module, spec).stdout
+    print(f"code increase: {100 * result.code_increase:.1f}%")
+    safe = classified.dynamic_fraction(SiteClass.SAFE)
+    print(f"dynamic safe fraction: {100 * safe:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

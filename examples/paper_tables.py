@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Regenerate all of the paper's tables in one go (small scale).
+
+Equivalent to ``python -m repro.experiments all``; use
+``--scale full`` there for the paper-sized input sets.
+
+Run with ``python examples/paper_tables.py``.
+"""
+
+from repro.experiments import run_suite
+from repro.experiments.tables import all_tables
+
+
+def main() -> None:
+    results = run_suite(scale="small", progress=True)
+    print()
+    print(all_tables(results))
+
+
+if __name__ == "__main__":
+    main()

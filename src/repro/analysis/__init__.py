@@ -1,0 +1,26 @@
+"""Intra-procedural analysis infrastructure.
+
+The paper's motivation is that inline expansion "enlarges the scope of
+register allocation, code scheduling, and other optimizations" (§1.2);
+this package provides the standard analyses such optimizers sit on:
+control-flow graphs over the flat IL, dominators, natural-loop
+detection, and live-register analysis.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dominators import dominator_sets, immediate_dominators
+from repro.analysis.liveness import LivenessResult, liveness
+from repro.analysis.loops import NaturalLoop, call_sites_in_loops, natural_loops
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "LivenessResult",
+    "NaturalLoop",
+    "build_cfg",
+    "call_sites_in_loops",
+    "dominator_sets",
+    "immediate_dominators",
+    "liveness",
+    "natural_loops",
+]

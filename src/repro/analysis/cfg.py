@@ -1,0 +1,98 @@
+"""Control-flow graphs over the flat IL.
+
+Blocks are derived on demand (the flat list stays the source of truth,
+which keeps inline splicing trivial). Leaders are: the first
+instruction, every label, and every instruction following a terminator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode, is_terminator
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run.
+
+    ``start``/``end`` are indices into the function body (end is
+    exclusive). ``labels`` holds every label attached to the block head.
+    """
+
+    index: int
+    start: int
+    end: int
+    labels: list[str] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def instructions(self, function: ILFunction) -> list[Instr]:
+        return function.body[self.start : self.end]
+
+
+@dataclass
+class CFG:
+    function: ILFunction
+    blocks: list[BasicBlock] = field(default_factory=list)
+    #: label name -> index of the block it heads.
+    block_of_label: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+
+def build_cfg(function: ILFunction) -> CFG:
+    """Partition the function into basic blocks and connect them."""
+    body = function.body
+    cfg = CFG(function)
+    if not body:
+        cfg.blocks.append(BasicBlock(0, 0, 0))
+        return cfg
+
+    # Pass 1: find leaders.
+    leaders = {0}
+    for index, instr in enumerate(body):
+        if instr.op is Opcode.LABEL:
+            leaders.add(index)
+        elif is_terminator(instr) and index + 1 < len(body):
+            leaders.add(index + 1)
+    ordered = sorted(leaders)
+
+    # Pass 2: create blocks (labels cling to the following block head).
+    for block_index, start in enumerate(ordered):
+        end = ordered[block_index + 1] if block_index + 1 < len(ordered) else len(body)
+        block = BasicBlock(block_index, start, end)
+        cursor = start
+        while cursor < end and body[cursor].op is Opcode.LABEL:
+            block.labels.append(body[cursor].label)
+            cfg.block_of_label[body[cursor].label] = block_index
+            cursor += 1
+        cfg.blocks.append(block)
+
+    # Merge the case where a label run is split across leaders: a LABEL
+    # directly before another leader has end == its own start run; the
+    # loop above already mapped each label to its block, because every
+    # LABEL is itself a leader and heads its own block whose body then
+    # falls through. Now wire edges.
+    for block in cfg.blocks:
+        last = body[block.end - 1] if block.end > block.start else None
+        if last is None:
+            if block.index + 1 < len(cfg.blocks):
+                _connect(cfg, block.index, block.index + 1)
+            continue
+        targets = last.labels_used()
+        for label in targets:
+            _connect(cfg, block.index, cfg.block_of_label[label])
+        if not is_terminator(last) and block.index + 1 < len(cfg.blocks):
+            _connect(cfg, block.index, block.index + 1)
+    return cfg
+
+
+def _connect(cfg: CFG, source: int, target: int) -> None:
+    if target not in cfg.blocks[source].successors:
+        cfg.blocks[source].successors.append(target)
+    if source not in cfg.blocks[target].predecessors:
+        cfg.blocks[target].predecessors.append(source)

@@ -1,0 +1,65 @@
+"""Dominator computation (iterative set-based algorithm)."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+
+
+def dominator_sets(cfg: CFG) -> list[set[int]]:
+    """dom[b] = set of blocks dominating b (including b itself).
+
+    Unreachable blocks keep the full set, the conventional bottom.
+    """
+    count = len(cfg.blocks)
+    everything = set(range(count))
+    dom: list[set[int]] = [everything.copy() for _ in range(count)]
+    dom[0] = {0}
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks[1:]:
+            if block.predecessors:
+                incoming = set.intersection(
+                    *(dom[p] for p in block.predecessors)
+                )
+            else:
+                incoming = everything.copy()
+            candidate = incoming | {block.index}
+            if candidate != dom[block.index]:
+                dom[block.index] = candidate
+                changed = True
+    return dom
+
+
+def immediate_dominators(cfg: CFG) -> dict[int, int | None]:
+    """idom[b] = the unique closest strict dominator (None for entry
+    and unreachable blocks)."""
+    dom = dominator_sets(cfg)
+    reachable = _reachable(cfg)
+    idom: dict[int, int | None] = {0: None}
+    for block in cfg.blocks[1:]:
+        index = block.index
+        if index not in reachable:
+            idom[index] = None
+            continue
+        strict = dom[index] - {index}
+        # The immediate dominator is the strict dominator dominated by
+        # all other strict dominators.
+        best = None
+        for candidate in strict:
+            if all(candidate in dom[other] for other in strict):
+                best = candidate
+        idom[index] = best
+    return idom
+
+
+def _reachable(cfg: CFG) -> set[int]:
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        index = frontier.pop()
+        for successor in cfg.blocks[index].successors:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen

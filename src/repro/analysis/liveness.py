@@ -1,0 +1,67 @@
+"""Live-register analysis (backward iterative dataflow).
+
+Computes, per basic block, the registers live on entry and exit. This
+is the analysis a register allocator would consume — the paper's
+§1.2 motivation for inlining is precisely to widen its scope — and a
+convenient oracle for tests of the optimizer's soundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.il.function import ILFunction
+
+
+@dataclass
+class LivenessResult:
+    cfg: CFG
+    live_in: list[set[str]] = field(default_factory=list)
+    live_out: list[set[str]] = field(default_factory=list)
+
+    def live_anywhere(self) -> set[str]:
+        result: set[str] = set()
+        for live in self.live_in:
+            result |= live
+        return result
+
+
+def _use_def(function: ILFunction, cfg: CFG) -> tuple[list[set[str]], list[set[str]]]:
+    uses: list[set[str]] = []
+    defs: list[set[str]] = []
+    for block in cfg.blocks:
+        use: set[str] = set()
+        define: set[str] = set()
+        for instr in block.instructions(function):
+            for reg in instr.source_regs():
+                if reg not in define:
+                    use.add(reg)
+            if instr.dst is not None:
+                define.add(instr.dst)
+        uses.append(use)
+        defs.append(define)
+    return uses, defs
+
+
+def liveness(function: ILFunction) -> LivenessResult:
+    """Compute per-block live-in/live-out register sets."""
+    cfg = build_cfg(function)
+    uses, defs = _use_def(function, cfg)
+    count = len(cfg.blocks)
+    live_in: list[set[str]] = [set() for _ in range(count)]
+    live_out: list[set[str]] = [set() for _ in range(count)]
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            index = block.index
+            out: set[str] = set()
+            for successor in block.successors:
+                out |= live_in[successor]
+            incoming = uses[index] | (out - defs[index])
+            if out != live_out[index] or incoming != live_in[index]:
+                live_out[index] = out
+                live_in[index] = incoming
+                changed = True
+    return LivenessResult(cfg, live_in, live_out)

@@ -1,0 +1,44 @@
+"""Weighted call graphs (§2.2, §3.2).
+
+Nodes are functions weighted by execution count; arcs are static call
+sites weighted by invocation count, each with a unique id and a status
+attribute. Two special nodes model missing information: ``$$$``
+(external functions) and ``###`` (calls through pointers).
+"""
+
+from repro.callgraph.graph import (
+    EXTERNAL_NODE,
+    POINTER_NODE,
+    Arc,
+    ArcKind,
+    ArcStatus,
+    CallGraph,
+    Node,
+)
+from repro.callgraph.build import build_call_graph
+from repro.callgraph.pointer_analysis import (
+    PointerCallSummary,
+    analyze_pointer_calls,
+)
+from repro.callgraph.cycles import find_sccs, recursive_functions
+from repro.callgraph.reachability import (
+    eliminate_unreachable,
+    reachable_functions,
+)
+
+__all__ = [
+    "Arc",
+    "ArcKind",
+    "ArcStatus",
+    "CallGraph",
+    "EXTERNAL_NODE",
+    "Node",
+    "PointerCallSummary",
+    "POINTER_NODE",
+    "analyze_pointer_calls",
+    "build_call_graph",
+    "eliminate_unreachable",
+    "find_sccs",
+    "reachable_functions",
+    "recursive_functions",
+]

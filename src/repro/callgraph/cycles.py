@@ -1,0 +1,80 @@
+"""Cycle detection on call graphs.
+
+The paper reduces recursion detection to finding cycles in the call
+graph (§2.2). We use Tarjan's strongly-connected-components algorithm
+(iterative, so deep graphs cannot overflow Python's stack).
+"""
+
+from __future__ import annotations
+
+from repro.callgraph.graph import CallGraph
+
+
+def find_sccs(graph: CallGraph) -> list[list[str]]:
+    """Strongly connected components, in reverse topological order."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index_of:
+            continue
+        # Iterative Tarjan: work items are (node, iterator state).
+        work = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = graph.nodes[node].out_arcs
+            while child_index < len(successors):
+                child = successors[child_index].callee
+                child_index += 1
+                if child not in index_of:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if recurse:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def recursive_functions(graph: CallGraph) -> set[str]:
+    """Functions on some call-graph cycle.
+
+    A function is recursive when its SCC has more than one member, or
+    when it carries a self-arc (the paper's *simple recursion*). The
+    worst-case arcs through ``$$$``/``###`` participate, so a function
+    that calls an external is conservatively treated as recursive —
+    exactly the paper's assumption.
+    """
+    result: set[str] = set()
+    for component in find_sccs(graph):
+        if len(component) > 1:
+            result.update(component)
+    for name in graph.nodes:
+        if graph.self_recursive(name):
+            result.add(name)
+    return result

@@ -1,0 +1,186 @@
+"""The ``impact-inline`` command-line tool.
+
+Subcommands::
+
+    impact-inline run FILE.c [--stdin TEXT] [--arg A ...]
+        Compile a C-subset file and execute it in the VM.
+    impact-inline inline FILE.c [--stdin TEXT] [--arg A ...] [--dump]
+        Profile the program on the given input, inline, re-run, and
+        report the call decrease / code increase.
+    impact-inline tables [--scale small|full]
+        Regenerate the paper's tables (same as python -m repro.experiments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import compile_program
+from repro.il.printer import format_module
+from repro.inliner.manager import inline_module
+from repro.inliner.params import InlineParameters
+from repro.profiler.profile import RunSpec, profile_module, run_once
+
+
+def _run_spec(args: argparse.Namespace) -> RunSpec:
+    return RunSpec(
+        stdin=(args.stdin or "").encode(),
+        argv=list(args.arg or []),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    module = compile_program(source, args.file)
+    result = run_once(module, _run_spec(args))
+    sys.stdout.write(result.stdout)
+    counters = result.counters
+    print(
+        f"\n[exit {result.exit_code}; {counters.il} ILs,"
+        f" {counters.ct} CTs, {counters.calls} calls]",
+        file=sys.stderr,
+    )
+    return result.exit_code
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiler.serialize import dump_profile
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    module = compile_program(source, args.file)
+    profile = profile_module(module, [_run_spec(args)], check_exit=False)
+    text = dump_profile(profile, module)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote profile to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_inline(args: argparse.Namespace) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    module = compile_program(source, args.file)
+    spec = _run_spec(args)
+    if args.profile_file:
+        from repro.profiler.serialize import load_profile
+
+        with open(args.profile_file, encoding="utf-8") as handle:
+            profile = load_profile(handle.read(), module)
+    else:
+        profile = profile_module(module, [spec], check_exit=False)
+    params = InlineParameters(
+        weight_threshold=args.threshold,
+        size_limit_factor=args.growth,
+    )
+    result = inline_module(module, profile, params)
+    after = profile_module(result.module, [spec], check_exit=False)
+    before_calls = profile.avg_calls
+    decrease = 1.0 - after.avg_calls / before_calls if before_calls else 0.0
+    print(f"expanded call sites : {len(result.records)}")
+    print(f"code increase       : {100 * result.code_increase:.1f}%")
+    print(f"call decrease       : {100 * decrease:.1f}%")
+    print(f"ILs per call after  : {after.avg_il / after.avg_calls if after.avg_calls else float('inf'):.0f}")
+    if args.dump:
+        print(format_module(result.module))
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.callgraph.build import build_call_graph
+    from repro.callgraph.dot import to_dot
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    module = compile_program(source, args.file)
+    profile = None
+    if args.profile:
+        profile = profile_module(module, [_run_spec(args)], check_exit=False)
+    graph = build_call_graph(module, profile, refine_pointers=args.refine)
+    print(to_dot(graph, include_synthetic=args.synthetic, min_weight=args.min_weight))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main([args.what, "--scale", args.scale])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="impact-inline",
+        description="Profile-guided inline function expansion for C programs"
+        " (Hwu & Chang, PLDI 1989 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="compile and execute a C-subset file")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--stdin", default="")
+    run_parser.add_argument("--arg", action="append")
+    run_parser.set_defaults(func=_cmd_run)
+
+    inline_parser = sub.add_parser(
+        "inline", help="profile, inline, and report the improvement"
+    )
+    inline_parser.add_argument("file")
+    inline_parser.add_argument("--stdin", default="")
+    inline_parser.add_argument("--arg", action="append")
+    inline_parser.add_argument(
+        "--profile-file", default=None,
+        help="use a saved profile instead of profiling on the spot",
+    )
+    inline_parser.add_argument("--threshold", type=float, default=10.0)
+    inline_parser.add_argument("--growth", type=float, default=1.25)
+    inline_parser.add_argument("--dump", action="store_true")
+    inline_parser.set_defaults(func=_cmd_inline)
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile a program and emit the profile file"
+    )
+    profile_parser.add_argument("file")
+    profile_parser.add_argument("--stdin", default="")
+    profile_parser.add_argument("--arg", action="append")
+    profile_parser.add_argument("-o", "--output", default=None)
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    graph_parser = sub.add_parser(
+        "graph", help="dump the weighted call graph as Graphviz DOT"
+    )
+    graph_parser.add_argument("file")
+    graph_parser.add_argument("--stdin", default="")
+    graph_parser.add_argument("--arg", action="append")
+    graph_parser.add_argument(
+        "--profile", action="store_true", help="weight nodes/arcs by a profiling run"
+    )
+    graph_parser.add_argument(
+        "--synthetic", action="store_true", help="include worst-case $$$/### arcs"
+    )
+    graph_parser.add_argument(
+        "--refine", action="store_true", help="narrow ### targets by pointer analysis"
+    )
+    graph_parser.add_argument("--min-weight", type=float, default=0.0)
+    graph_parser.set_defaults(func=_cmd_graph)
+
+    tables_parser = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables_parser.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=["table1", "table2", "table3", "table4", "breakdown", "all"],
+    )
+    tables_parser.add_argument("--scale", default="small", choices=["small", "full"])
+    tables_parser.set_defaults(func=_cmd_tables)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

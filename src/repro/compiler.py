@@ -1,0 +1,89 @@
+"""End-to-end compilation driver: C source text to a linked IL module.
+
+>>> from repro.compiler import compile_program
+>>> module = compile_program('''
+... #include <sys.h>
+... int main(void) { putchar('h'); putchar('i'); return 0; }
+... ''')
+>>> from repro.vm import Machine
+>>> Machine(module).run().stdout
+'hi'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.parser import parse_translation_unit
+from repro.frontend.preprocessor import Preprocessor
+from repro.frontend.sema import AnalyzedUnit, analyze
+from repro.il.lowering import lower_unit
+from repro.il.module import ILModule
+from repro.il.verifier import verify_module
+from repro.runtime import LIBC_SOURCE, standard_headers
+
+
+@dataclass
+class CompileResult:
+    """Module plus the analysis facts some tools want to inspect."""
+
+    module: ILModule
+    analysis: AnalyzedUnit
+
+
+def compile_to_analysis(
+    source: str,
+    filename: str = "<input>",
+    headers: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+    link_libc: bool = True,
+) -> AnalyzedUnit:
+    """Preprocess, parse, and semantically analyze a program.
+
+    With ``link_libc`` (the default) the C-subset libc source is
+    prepended as part of the same translation unit, so its functions
+    have visible bodies. Without it, libc calls resolve against header
+    prototypes only and become external functions.
+    """
+    all_headers = standard_headers()
+    if headers:
+        all_headers.update(headers)
+    preprocessor = Preprocessor(all_headers, defines)
+    pieces = []
+    if link_libc:
+        pieces.append(preprocessor.process(LIBC_SOURCE, "<libc>"))
+    pieces.append(preprocessor.process(source, filename))
+    unit = parse_translation_unit("\n".join(pieces), filename)
+    return analyze(unit)
+
+
+def compile_program(
+    source: str,
+    filename: str = "<input>",
+    headers: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+    link_libc: bool = True,
+    entry: str = "main",
+    verify: bool = True,
+) -> ILModule:
+    """Compile C-subset source text into a verified, linked IL module."""
+    analysis = compile_to_analysis(source, filename, headers, defines, link_libc)
+    module = lower_unit(analysis, entry)
+    if verify:
+        verify_module(module)
+    return module
+
+
+def compile_with_analysis(
+    source: str,
+    filename: str = "<input>",
+    headers: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+    link_libc: bool = True,
+    entry: str = "main",
+) -> CompileResult:
+    """Like :func:`compile_program` but also returns the analysis."""
+    analysis = compile_to_analysis(source, filename, headers, defines, link_libc)
+    module = lower_unit(analysis, entry)
+    verify_module(module)
+    return CompileResult(module, analysis)

@@ -1,0 +1,138 @@
+"""``python -m repro.experiments`` — regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.experiments [table1|table2|table3|table4|breakdown|
+                                 all|ablations] [--scale small|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import (
+    baseline_comparison,
+    growth_limit_sweep,
+    linearization_comparison,
+    render_points,
+    threshold_sweep,
+)
+from repro.experiments.pipeline import run_suite
+from repro.experiments.tables import (
+    all_tables,
+    post_inline_breakdown,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+_TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "breakdown": post_inline_breakdown,
+    "all": all_tables,
+}
+
+
+def _run_extensions(scale: str) -> None:
+    """The extension experiments: icache, placement, regalloc, LICM."""
+    from repro.icache import icache_experiment
+    from repro.layout import placement_experiment
+    from repro.regalloc import pressure_experiment
+    from repro.workloads import benchmark_by_name
+
+    benchmark = benchmark_by_name("compress")
+    module = benchmark.compile()
+    specs = benchmark.make_runs(scale)[:2]
+
+    print("I-cache miss ratios before/after inlining (compress, scattered):")
+    for point in icache_experiment(module, specs):
+        print(
+            f"  {point.size_bytes:5d}B {point.associativity}-way:"
+            f" {point.miss_before:.4f} -> {point.miss_after:.4f}"
+            f" ({point.improvement:+.0%})"
+        )
+    print()
+    print("Placement vs. inlining (compress):")
+    for p in placement_experiment(module, specs):
+        print(
+            f"  {p.size_bytes:5d}B {p.associativity}-way: scattered"
+            f" {p.miss_scattered:.4f}, placed {p.miss_placed:.4f}"
+            f" ({p.placement_improvement:+.0%}), inlined"
+            f" {p.miss_inlined_scattered:.4f} ({p.inlining_improvement:+.0%})"
+        )
+    print()
+    print("Register memory traffic before/after inlining (compress):")
+    for k, before, after in pressure_experiment(module, specs, ks=(4, 8, 16)):
+        print(
+            f"  K={k:2d}: save/restore {before.save_restore_events:.0f} ->"
+            f" {after.save_restore_events:.0f}; spills"
+            f" {before.spill_events:.0f} -> {after.spill_events:.0f}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables of Hwu & Chang (PLDI 1989).",
+    )
+    parser.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=[*_TABLES, "ablations", "extensions"],
+        help="which table to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "full"],
+        help="input scale: 'small' is quick, 'full' mirrors Table 1's run counts",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to named benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    if args.what == "extensions":
+        _run_extensions(args.scale)
+        return 0
+
+    if args.what == "ablations":
+        print(render_points("Ablation A: weight threshold T.", threshold_sweep(args.scale)))
+        print()
+        print(
+            render_points(
+                "Ablation B: profile-guided vs. static heuristics.",
+                baseline_comparison(args.scale),
+            )
+        )
+        print()
+        print(
+            render_points(
+                "Ablation C: code-growth limit.", growth_limit_sweep(args.scale)
+            )
+        )
+        print()
+        print(
+            render_points(
+                "Ablation D: linearization order.",
+                linearization_comparison(args.scale),
+            )
+        )
+        return 0
+
+    results = run_suite(args.scale, names=args.benchmarks, progress=True)
+    print(_TABLES[args.what](results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+A — weight threshold T (§2.3.3's ``weight(Ai) < T`` guard),
+B — profile-guided selection vs. the no-profile baselines of §1.2,
+C — code-growth limit (§2.3.1's program-size cap),
+D — linearization order (paper's weight heuristic vs. hybrid).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.baselines import (
+    hint_inline,
+    leaf_inline,
+    loop_inline,
+    size_threshold_inline,
+)
+from repro.experiments.report import pct, render_table
+from repro.inliner.manager import InlineExpander
+from repro.inliner.params import InlineParameters
+from repro.opt import optimize_module
+from repro.profiler.profile import profile_module
+from repro.workloads.suite import benchmark_suite
+
+
+@dataclass
+class AblationPoint:
+    label: str
+    code_increase: float
+    call_decrease: float
+
+
+def _prepare(benchmark, scale):
+    module = benchmark.compile()
+    optimize_module(module)
+    specs = benchmark.make_runs(scale)
+    profile = profile_module(module, specs)
+    return module, specs, profile
+
+
+def _measure(module, inlined_module, specs, profile) -> tuple[float, float]:
+    before = profile.avg_calls
+    after_profile = profile_module(inlined_module, specs)
+    after = after_profile.avg_calls
+    decrease = max(0.0, 1.0 - after / before) if before else 0.0
+    original = module.total_code_size()
+    increase = (inlined_module.total_code_size() - original) / original
+    return increase, decrease
+
+
+def threshold_sweep(
+    scale: str = "small", thresholds: tuple[float, ...] = (1, 10, 100, 1000)
+) -> list[AblationPoint]:
+    """Ablation A: sweep the arc-weight threshold T."""
+    points = []
+    prepared = [
+        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
+    ]
+    for threshold in thresholds:
+        params = InlineParameters(weight_threshold=threshold)
+        incs, decs = [], []
+        for (module, specs, profile), _ in prepared:
+            result = InlineExpander(module, profile, params).run()
+            inc, dec = _measure(module, result.module, specs, profile)
+            incs.append(inc)
+            decs.append(dec)
+        points.append(
+            AblationPoint(
+                f"T={threshold:g}", statistics.fmean(incs), statistics.fmean(decs)
+            )
+        )
+    return points
+
+
+def growth_limit_sweep(
+    scale: str = "small",
+    factors: tuple[float, ...] = (1.0, 1.1, 1.25, 1.5, 2.0),
+) -> list[AblationPoint]:
+    """Ablation C: sweep the program-size cap."""
+    points = []
+    prepared = [
+        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
+    ]
+    for factor in factors:
+        params = InlineParameters(size_limit_factor=factor)
+        incs, decs = [], []
+        for (module, specs, profile), _ in prepared:
+            result = InlineExpander(module, profile, params).run()
+            inc, dec = _measure(module, result.module, specs, profile)
+            incs.append(inc)
+            decs.append(dec)
+        points.append(
+            AblationPoint(
+                f"limit={factor:g}x", statistics.fmean(incs), statistics.fmean(decs)
+            )
+        )
+    return points
+
+
+def linearization_comparison(scale: str = "small") -> list[AblationPoint]:
+    """Ablation D: the paper's pure-weight order vs. the hybrid order."""
+    points = []
+    prepared = [
+        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
+    ]
+    for method in ("weight", "hybrid"):
+        incs, decs = [], []
+        for (module, specs, profile), _ in prepared:
+            result = InlineExpander(
+                module, profile, linearize_method=method
+            ).run()
+            inc, dec = _measure(module, result.module, specs, profile)
+            incs.append(inc)
+            decs.append(dec)
+        points.append(
+            AblationPoint(method, statistics.fmean(incs), statistics.fmean(decs))
+        )
+    return points
+
+
+_BASELINES = (
+    ("profile-guided", None),
+    ("static-estimate", "static-estimate"),
+    ("leaf (PL.8)", leaf_inline),
+    ("loop (MIPS)", loop_inline),
+    ("size<=25", lambda module, params: size_threshold_inline(module, 25, params)),
+    ("hint (GNU)", hint_inline),
+)
+
+
+def baseline_comparison(scale: str = "small") -> list[AblationPoint]:
+    """Ablation B: profile-guided vs. static heuristics, same size cap."""
+    points = []
+    prepared = [
+        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
+    ]
+    params = InlineParameters()
+    for label, heuristic in _BASELINES:
+        incs, decs = [], []
+        for (module, specs, profile), _ in prepared:
+            if heuristic is None:
+                inlined = InlineExpander(module, profile, params).run().module
+            elif heuristic == "static-estimate":
+                # §4.2's open question: run the same expander on weights
+                # estimated by structure analysis instead of profiling.
+                from repro.profiler.static_estimate import estimate_profile
+
+                estimated = estimate_profile(module)
+                inlined = InlineExpander(module, estimated, params).run().module
+            else:
+                inlined = heuristic(module, params).module
+            inc, dec = _measure(module, inlined, specs, profile)
+            incs.append(inc)
+            decs.append(dec)
+        points.append(
+            AblationPoint(label, statistics.fmean(incs), statistics.fmean(decs))
+        )
+    return points
+
+
+def heldout_input_check(scale: str = "small") -> list[AblationPoint]:
+    """Ablation E: profile on half the inputs, evaluate on the rest.
+
+    The paper's methodology hinges on representative inputs (§1.2,
+    §4: "representative inputs for each benchmark are applied to
+    establish reliable profile information"). If profiles generalize,
+    the call decrease measured on held-out inputs should track the
+    trained-inputs number closely.
+    """
+    points = []
+    for subset in ("train-inputs", "held-out-inputs"):
+        incs, decs = [], []
+        for benchmark in benchmark_suite():
+            module = benchmark.compile()
+            optimize_module(module)
+            specs = benchmark.make_runs(scale)
+            if len(specs) < 2:
+                continue
+            train = specs[0::2]
+            test = specs[1::2]
+            profile = profile_module(module, train)
+            inlined = InlineExpander(module, profile).run().module
+            evaluate = train if subset == "train-inputs" else test
+            base = profile_module(module, evaluate)
+            after = profile_module(inlined, evaluate)
+            decs.append(
+                max(0.0, 1.0 - after.avg_calls / base.avg_calls)
+                if base.avg_calls
+                else 0.0
+            )
+            original = module.total_code_size()
+            incs.append((inlined.total_code_size() - original) / original)
+        points.append(
+            AblationPoint(subset, statistics.fmean(incs), statistics.fmean(decs))
+        )
+    return points
+
+
+def render_points(title: str, points: list[AblationPoint]) -> str:
+    rows = [
+        [point.label, pct(point.code_increase), pct(point.call_decrease)]
+        for point in points
+    ]
+    return render_table(title, ["configuration", "code inc", "call dec"], rows)

@@ -1,0 +1,165 @@
+"""The per-benchmark experiment pipeline.
+
+For each benchmark: compile, pre-optimize (constant folding and jump
+optimization, which the paper applies *before* inline expansion — §4.4),
+profile over the input set, classify call sites, inline, re-profile the
+inlined program over the same inputs, and check output equivalence
+between the original and inlined binaries on every input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.inliner.classify import ClassifiedSites, SiteClass, classify_sites
+from repro.inliner.manager import InlineExpander, InlineResult
+from repro.inliner.params import InlineParameters
+from repro.opt import optimize_module
+from repro.profiler.profile import ProfileData, RunSpec, profile_module, run_once
+from repro.callgraph.build import build_call_graph
+from repro.workloads.suite import Benchmark, benchmark_suite
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything the four tables need for one benchmark."""
+
+    name: str
+    c_lines: int
+    runs: int
+    input_description: str
+    profile: ProfileData
+    classified: ClassifiedSites
+    inline: InlineResult
+    post_profile: ProfileData
+    post_classified: ClassifiedSites
+    outputs_match: bool
+    params: InlineParameters = field(default_factory=InlineParameters)
+
+    # ------------------------------------------------------------------
+    # Table 1 quantities
+
+    @property
+    def avg_il_thousands(self) -> float:
+        return self.profile.avg_il / 1000.0
+
+    @property
+    def avg_ct_thousands(self) -> float:
+        return self.profile.avg_ct / 1000.0
+
+    # ------------------------------------------------------------------
+    # Table 4 quantities
+
+    @property
+    def code_increase(self) -> float:
+        return self.inline.code_increase
+
+    @property
+    def call_decrease(self) -> float:
+        before = self.profile.avg_calls
+        after = self.post_profile.avg_calls
+        if before <= 0:
+            return 0.0
+        return max(0.0, 1.0 - after / before)
+
+    @property
+    def ils_per_call(self) -> float:
+        calls = self.post_profile.avg_calls
+        return self.post_profile.avg_il / calls if calls else float("inf")
+
+    @property
+    def cts_per_call(self) -> float:
+        calls = self.post_profile.avg_calls
+        return self.post_profile.avg_ct / calls if calls else float("inf")
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    scale: str = "small",
+    params: InlineParameters | None = None,
+    pre_optimize: bool = True,
+    check_outputs: bool = True,
+) -> BenchmarkResult:
+    """Run the full experiment pipeline for one benchmark."""
+    params = params or InlineParameters()
+    module = benchmark.compile()
+    if pre_optimize:
+        optimize_module(module)
+    specs = benchmark.make_runs(scale)
+    profile = profile_module(module, specs)
+
+    expander = InlineExpander(module, profile, params)
+    inline_result = expander.run()
+    post_profile = profile_module(inline_result.module, specs)
+
+    outputs_match = True
+    if check_outputs:
+        outputs_match = _outputs_equal(module, inline_result.module, specs)
+
+    post_graph = build_call_graph(inline_result.module, post_profile)
+    post_classified = classify_sites(
+        inline_result.module, post_graph, post_profile, params
+    )
+    return BenchmarkResult(
+        name=benchmark.name,
+        c_lines=benchmark.c_lines,
+        runs=len(specs),
+        input_description=benchmark.input_description,
+        profile=profile,
+        classified=inline_result.classified,
+        inline=inline_result,
+        post_profile=post_profile,
+        post_classified=post_classified,
+        outputs_match=outputs_match,
+        params=params,
+    )
+
+
+def _outputs_equal(module_a, module_b, specs: list[RunSpec]) -> bool:
+    for spec in specs:
+        result_a = run_once(module_a, spec)
+        result_b = run_once(module_b, spec)
+        if (
+            result_a.exit_code != result_b.exit_code
+            or bytes(result_a.os.stdout) != bytes(result_b.os.stdout)
+            or result_a.os.written_files != result_b.os.written_files
+        ):
+            return False
+    return True
+
+
+def run_suite(
+    scale: str = "small",
+    params: InlineParameters | None = None,
+    names: list[str] | None = None,
+    pre_optimize: bool = True,
+    check_outputs: bool = True,
+    progress: bool = False,
+) -> list[BenchmarkResult]:
+    """Run the pipeline for every benchmark (or a named subset)."""
+    results = []
+    for benchmark in benchmark_suite():
+        if names is not None and benchmark.name not in names:
+            continue
+        if progress:
+            print(f"[{benchmark.name}] running ...", flush=True)
+        results.append(
+            run_benchmark(benchmark, scale, params, pre_optimize, check_outputs)
+        )
+    return results
+
+
+def aggregate_dynamic_breakdown(
+    results: list[BenchmarkResult],
+) -> dict[SiteClass, float]:
+    """Suite-wide post-inline dynamic call mix (the §4.4 percentages)."""
+    totals = {site_class: 0.0 for site_class in SiteClass}
+    for result in results:
+        for site_class in SiteClass:
+            totals[site_class] += result.post_classified.dynamic.get(
+                site_class, 0.0
+            )
+    grand = sum(totals.values())
+    if grand == 0:
+        return {site_class: 0.0 for site_class in SiteClass}
+    return {site_class: value / grand for site_class, value in totals.items()}

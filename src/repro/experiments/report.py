@@ -1,0 +1,33 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+
+def render_table(
+    title: str, headers: list[str], rows: list[list[str]]
+) -> str:
+    """Render an aligned ASCII table with a title line."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def fixed(value: float, digits: int = 0) -> str:
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}"

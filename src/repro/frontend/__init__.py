@@ -1,0 +1,29 @@
+"""C-subset frontend: preprocessor, lexer, parser, and semantic analysis.
+
+The frontend turns C source text into a typed abstract syntax tree:
+
+>>> from repro.frontend import parse_translation_unit
+>>> unit = parse_translation_unit("int main(void) { return 0; }")
+>>> [d.name for d in unit.functions]
+['main']
+"""
+
+from repro.frontend.ast import TranslationUnit
+from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.parser import Parser, parse_translation_unit
+from repro.frontend.preprocessor import Preprocessor, preprocess
+from repro.frontend.sema import analyze
+from repro.frontend.tokens import Token, TokenKind
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Preprocessor",
+    "Token",
+    "TokenKind",
+    "TranslationUnit",
+    "analyze",
+    "parse_translation_unit",
+    "preprocess",
+    "tokenize",
+]

@@ -1,0 +1,273 @@
+"""Abstract syntax tree for the C subset.
+
+Nodes are plain mutable dataclasses. The parser fills in structure and
+locations; semantic analysis (:mod:`repro.frontend.sema`) annotates
+expressions with ``ctype`` and identifiers with their resolved symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import UNKNOWN_LOCATION, SourceLocation
+from repro.frontend.typesys import CType, FunctionSignature, StructType
+
+
+@dataclass
+class Node:
+    """Common base carrying a source location."""
+
+    location: SourceLocation = field(default=UNKNOWN_LOCATION, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# expressions
+
+
+@dataclass
+class Expr(Node):
+    """Base expression; ``ctype`` is set by semantic analysis."""
+
+    ctype: Optional[CType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    """A name; ``symbol`` is filled in by semantic analysis."""
+
+    name: str = ""
+    symbol: object = None
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix operators: ``- ~ ! & *`` plus prefix ``++``/``--``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class PostIncDec(Expr):
+    """Postfix ``++`` and ``--``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    """All binary operators, including short-circuit ``&&``/``||``."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """``=`` and compound assignments (``+=`` etc.)."""
+
+    op: str = "="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """A call; ``callee`` may be an Identifier (direct) or any pointer
+    expression (call through pointer, the paper's ``###`` case)."""
+
+    callee: Expr | None = None
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    base: Expr | None = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: CType | None = None
+
+
+# ----------------------------------------------------------------------
+# initializers
+
+
+@dataclass
+class InitList(Node):
+    """Brace-enclosed initializer ``{ a, b, ... }`` for arrays/structs."""
+
+    items: list[Union[Expr, "InitList"]] = field(default_factory=list)
+
+
+Initializer = Union[Expr, InitList]
+
+
+# ----------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local variable declaration (one declarator)."""
+
+    name: str = ""
+    var_type: CType | None = None
+    init: Initializer | None = None
+    symbol: object = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None  # DeclStmt, ExprStmt, or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class SwitchCase(Node):
+    """One arm of a switch; ``value`` is None for ``default:``."""
+
+    value: int | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr | None = None
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# top level
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    param_type: CType | None = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    signature: FunctionSignature | None = None
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+    inline_hint: bool = False
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    var_type: CType | None = None
+    init: Initializer | None = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    """One parsed source file (after preprocessing)."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    structs: dict[str, StructType] = field(default_factory=dict)
+    #: Functions declared (prototype) but not defined in this unit.
+    declared_only: dict[str, FunctionSignature] = field(default_factory=dict)
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

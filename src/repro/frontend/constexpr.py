@@ -1,0 +1,124 @@
+"""Compile-time evaluation of integer constant expressions.
+
+Used by the parser for array bounds and ``case`` labels, and by the
+optimizer's constant folder for shared arithmetic semantics: all
+arithmetic wraps to 32-bit two's complement, exactly like the VM.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError, SourceLocation
+from repro.frontend import ast
+
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+_MASK = 0xFFFFFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap an unbounded Python int to signed 32-bit two's complement."""
+    value &= _MASK
+    return value - 0x100000000 if value > INT_MAX else value
+
+
+def apply_binary(op: str, left: int, right: int) -> int:
+    """Evaluate ``left op right`` with C semantics on 32-bit ints.
+
+    Raises ZeroDivisionError for division/modulo by zero so callers can
+    decide whether that is a compile-time error (constant expressions)
+    or must be left for runtime (the constant folder).
+    """
+    if op == "+":
+        return wrap32(left + right)
+    if op == "-":
+        return wrap32(left - right)
+    if op == "*":
+        return wrap32(left * right)
+    if op == "/":
+        # C division truncates toward zero.
+        quotient = abs(left) // abs(right)
+        return wrap32(-quotient if (left < 0) != (right < 0) else quotient)
+    if op == "%":
+        return wrap32(left - apply_binary("/", left, right) * right)
+    if op == "<<":
+        return wrap32(left << (right & 31))
+    if op == ">>":
+        # Arithmetic shift on signed values.
+        return wrap32(left >> (right & 31))
+    if op == "&":
+        return wrap32(left & right)
+    if op == "|":
+        return wrap32(left | right)
+    if op == "^":
+        return wrap32(left ^ right)
+    if op == "<":
+        return 1 if left < right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "&&":
+        return 1 if left and right else 0
+    if op == "||":
+        return 1 if left or right else 0
+    raise SemanticError(f"operator {op!r} not allowed in constant expression")
+
+
+def apply_unary(op: str, value: int) -> int:
+    if op == "-":
+        return wrap32(-value)
+    if op == "+":
+        return value
+    if op == "~":
+        return wrap32(~value)
+    if op == "!":
+        return 0 if value else 1
+    raise SemanticError(f"unary operator {op!r} not allowed in constant expression")
+
+
+def eval_const_expr(expr: ast.Expr, location: SourceLocation | None = None) -> int:
+    """Evaluate an AST expression that must be an integer constant."""
+    where = location or expr.location
+    if isinstance(expr, ast.IntLiteral):
+        return wrap32(expr.value)
+    if isinstance(expr, ast.Unary):
+        if expr.op == "sizeof":
+            operand = expr.operand
+            if operand is not None and operand.ctype is not None:
+                return operand.ctype.size()
+            raise SemanticError("sizeof expression not constant here", where)
+        return apply_unary(expr.op, eval_const_expr(expr.operand, where))
+    if isinstance(expr, ast.Binary):
+        left = eval_const_expr(expr.left, where)
+        if expr.op == "&&":
+            return eval_const_expr(expr.right, where) and 1 if left else 0
+        if expr.op == "||":
+            return 1 if left else (1 if eval_const_expr(expr.right, where) else 0)
+        right = eval_const_expr(expr.right, where)
+        try:
+            return apply_binary(expr.op, left, right)
+        except ZeroDivisionError:
+            raise SemanticError("division by zero in constant expression", where) from None
+    if isinstance(expr, ast.Conditional):
+        cond = eval_const_expr(expr.cond, where)
+        branch = expr.then if cond else expr.otherwise
+        return eval_const_expr(branch, where)
+    if isinstance(expr, ast.SizeofType):
+        if expr.target_type is None:
+            raise SemanticError("sizeof of unresolved type", where)
+        return expr.target_type.size()
+    if isinstance(expr, ast.Cast):
+        value = eval_const_expr(expr.operand, where)
+        target = expr.target_type
+        if target is not None and target.is_integer and target.size() == 1:
+            value &= 0xFF
+            if value > 127:
+                value -= 256
+        return value
+    raise SemanticError("expression is not an integer constant", where)

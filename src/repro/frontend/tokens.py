@@ -1,0 +1,100 @@
+"""Token definitions for the C-subset lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import UNKNOWN_LOCATION, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT_CONST = "integer-constant"
+    CHAR_CONST = "character-constant"
+    STRING = "string-literal"
+    PUNCT = "punctuator"
+    EOF = "end-of-file"
+
+
+#: Reserved words of the C subset. ``inline`` is accepted as a hint
+#: (the GNU-style programmer annotation discussed in the paper, §1.2);
+#: ``static`` and ``extern`` are parsed and ignored.
+KEYWORDS = frozenset(
+    {
+        "break",
+        "case",
+        "char",
+        "continue",
+        "default",
+        "do",
+        "else",
+        "extern",
+        "for",
+        "if",
+        "inline",
+        "int",
+        "return",
+        "sizeof",
+        "static",
+        "struct",
+        "switch",
+        "void",
+        "while",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can use
+#: maximal munch by trying each length in order.
+PUNCTUATORS_3 = ("<<=", ">>=", "...")
+PUNCTUATORS_2 = (
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "^=",
+    "|=",
+)
+PUNCTUATORS_1 = tuple("[](){}.&*+-~!/%<>^|?:;=,#")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded payload: an ``int`` for integer and
+    character constants, the decoded ``str`` body for string literals,
+    and the spelling itself for identifiers, keywords, and punctuators.
+    """
+
+    kind: TokenKind
+    spelling: str
+    value: int | str | None = None
+    location: SourceLocation = field(default=UNKNOWN_LOCATION)
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.spelling == word
+
+    def is_punct(self, punct: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.spelling == punct
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<eof>"
+        return self.spelling

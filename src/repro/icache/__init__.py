@@ -1,0 +1,14 @@
+"""Instruction-cache simulation.
+
+The paper's conclusion (§5) reports that inline expansion "greatly
+reduces the mapping conflict in instruction caches with small
+set-associativities" (detailed in the authors' ISCA 1989 companion
+paper). This package provides the substrate to measure that claim on
+the reproduction: a set-associative instruction cache simulator fed by
+the VM's dynamic instruction stream.
+"""
+
+from repro.icache.cache import CacheStats, InstructionCache
+from repro.icache.experiment import CachePoint, icache_experiment
+
+__all__ = ["CachePoint", "CacheStats", "InstructionCache", "icache_experiment"]

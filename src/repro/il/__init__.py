@@ -1,0 +1,31 @@
+"""Three-address intermediate language (IL).
+
+This is the system-independent intermediate code of the reproduction
+(the paper's "intermediate instructions", §2.1): a flat list of
+register-based instructions per function, with labels as
+pseudo-instructions so that inline expansion can splice instruction
+sequences textually.
+"""
+
+from repro.il.instructions import Instr, Opcode, is_control_transfer, is_real
+from repro.il.function import FrameSlot, ILFunction
+from repro.il.module import GlobalData, ILModule, InitItem
+from repro.il.lowering import lower_unit
+from repro.il.printer import format_function, format_module
+from repro.il.verifier import verify_module
+
+__all__ = [
+    "FrameSlot",
+    "GlobalData",
+    "ILFunction",
+    "ILModule",
+    "InitItem",
+    "Instr",
+    "Opcode",
+    "format_function",
+    "format_module",
+    "is_control_transfer",
+    "is_real",
+    "lower_unit",
+    "verify_module",
+]

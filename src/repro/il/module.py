@@ -1,0 +1,132 @@
+"""IL modules: functions, global data, and external declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ILError
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode
+
+
+@dataclass(frozen=True, slots=True)
+class InitItem:
+    """One initialization record for a global data object.
+
+    ``kind`` is ``"int"`` (store ``value`` of ``size`` bytes at
+    ``offset``), ``"gaddr"`` (store the address of global ``symbol``),
+    ``"faddr"`` (store the function-pointer value of ``symbol``), or
+    ``"bytes"`` (store ``data`` verbatim, used for string literals).
+    """
+
+    offset: int
+    kind: str
+    value: int = 0
+    size: int = 4
+    symbol: str = ""
+    data: bytes = b""
+
+
+@dataclass(slots=True)
+class GlobalData:
+    """One global data object (named variable or string literal)."""
+
+    name: str
+    size: int
+    align: int = 4
+    init: list[InitItem] = field(default_factory=list)
+
+
+class ILModule:
+    """A linked program in IL form."""
+
+    def __init__(self, entry: str = "main"):
+        self.entry = entry
+        self.functions: dict[str, ILFunction] = {}
+        self.globals: dict[str, GlobalData] = {}
+        #: Declared-but-undefined functions: the paper's external
+        #: functions (system calls, unavailable library bodies).
+        self.externals: set[str] = set()
+        #: Functions whose address is used in computation — the callee
+        #: set of the ### call-through-pointer node (§2.5).
+        self.address_taken: set[str] = set()
+        self._next_site = 0
+        self._next_string = 0
+
+    # ------------------------------------------------------------------
+
+    def add_function(self, function: ILFunction) -> None:
+        if function.name in self.functions:
+            raise ILError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        self.externals.discard(function.name)
+
+    def add_global(self, data: GlobalData) -> None:
+        if data.name in self.globals:
+            raise ILError(f"duplicate global {data.name!r}")
+        self.globals[data.name] = data
+
+    def declare_external(self, name: str) -> None:
+        if name not in self.functions:
+            self.externals.add(name)
+
+    def new_site_id(self) -> int:
+        """Allocate a unique static call-site id (the paper's arc id)."""
+        site = self._next_site
+        self._next_site += 1
+        return site
+
+    def intern_string(self, value: str) -> str:
+        """Create an anonymous global holding a NUL-terminated string."""
+        data = value.encode("latin-1", errors="replace") + b"\x00"
+        for existing in self.globals.values():
+            if (
+                existing.name.startswith(".str")
+                and len(existing.init) == 1
+                and existing.init[0].kind == "bytes"
+                and existing.init[0].data == data
+            ):
+                return existing.name
+        name = f".str{self._next_string}"
+        self._next_string += 1
+        self.add_global(
+            GlobalData(name, len(data), 1, [InitItem(0, "bytes", data=data)])
+        )
+        return name
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def call_sites(self) -> list[tuple[str, Instr]]:
+        """All (caller name, call instruction) pairs, direct and indirect."""
+        result = []
+        for function in self.functions.values():
+            for instr in function.body:
+                if instr.op is Opcode.CALL or instr.op is Opcode.ICALL:
+                    result.append((function.name, instr))
+        return result
+
+    def total_code_size(self) -> int:
+        """Program code size: total real IL instructions (§2.3.1)."""
+        return sum(fn.code_size() for fn in self.functions.values())
+
+    def clone(self) -> "ILModule":
+        """Deep-copy the module (the inliner transforms a copy)."""
+        copy = ILModule(self.entry)
+        for name, function in self.functions.items():
+            copy.functions[name] = function.clone()
+        for name, data in self.globals.items():
+            copy.globals[name] = GlobalData(
+                data.name, data.size, data.align, list(data.init)
+            )
+        copy.externals = set(self.externals)
+        copy.address_taken = set(self.address_taken)
+        copy._next_site = self._next_site
+        copy._next_string = self._next_string
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ILModule {len(self.functions)} functions,"
+            f" {len(self.globals)} globals, entry={self.entry!r}>"
+        )

@@ -1,0 +1,80 @@
+"""Human-readable IL dumps, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode
+from repro.il.module import ILModule
+
+
+def _operand(value: object) -> str:
+    if value is None:
+        return "_"
+    if isinstance(value, int):
+        return f"#{value}"
+    return str(value)
+
+
+def format_instr(instr: Instr) -> str:
+    op = instr.op
+    if op is Opcode.LABEL:
+        return f"{instr.label}:"
+    if op is Opcode.CONST:
+        return f"  {instr.dst} = const {_operand(instr.a)}"
+    if op is Opcode.MOV:
+        return f"  {instr.dst} = {_operand(instr.a)}"
+    if op is Opcode.BIN:
+        return f"  {instr.dst} = {_operand(instr.a)} {instr.op2} {_operand(instr.b)}"
+    if op is Opcode.UN:
+        return f"  {instr.dst} = {instr.op2} {_operand(instr.a)}"
+    if op is Opcode.LOAD:
+        return f"  {instr.dst} = load{instr.size} [{_operand(instr.a)}]"
+    if op is Opcode.STORE:
+        return f"  store{instr.size} [{_operand(instr.a)}] = {_operand(instr.b)}"
+    if op is Opcode.FRAME:
+        return f"  {instr.dst} = frame {instr.name}"
+    if op is Opcode.GADDR:
+        return f"  {instr.dst} = gaddr {instr.name}"
+    if op is Opcode.FADDR:
+        return f"  {instr.dst} = faddr {instr.name}"
+    if op is Opcode.CALL:
+        args = ", ".join(_operand(a) for a in instr.args)
+        prefix = f"{instr.dst} = " if instr.dst is not None else ""
+        return f"  {prefix}call {instr.name}({args})  ; site {instr.site}"
+    if op is Opcode.ICALL:
+        args = ", ".join(_operand(a) for a in instr.args)
+        prefix = f"{instr.dst} = " if instr.dst is not None else ""
+        return f"  {prefix}icall {_operand(instr.a)}({args})  ; site {instr.site}"
+    if op is Opcode.RET:
+        return f"  ret {_operand(instr.a)}" if instr.a is not None else "  ret"
+    if op is Opcode.JUMP:
+        return f"  jump {instr.label}"
+    if op is Opcode.CJUMP:
+        return f"  cjump {_operand(instr.a)} ? {instr.label} : {instr.label2}"
+    if op is Opcode.SWITCH:
+        arms = ", ".join(f"{value}->{label}" for value, label in instr.cases)
+        return f"  switch {_operand(instr.a)} [{arms}] default {instr.label2}"
+    raise AssertionError(f"unknown opcode {op}")  # pragma: no cover
+
+
+def format_function(function: ILFunction) -> str:
+    header = f"func {function.name}({', '.join(function.params)})"
+    if function.returns_value:
+        header += " -> value"
+    lines = [header]
+    if function.slots:
+        for slot in function.slots.values():
+            lines.append(f"  .slot {slot.name} size={slot.size} offset={slot.offset}")
+    lines.extend(format_instr(instr) for instr in function.body)
+    return "\n".join(lines)
+
+
+def format_module(module: ILModule) -> str:
+    parts = []
+    for name in sorted(module.externals):
+        parts.append(f"extern {name}")
+    for data in module.globals.values():
+        parts.append(f"global {data.name} size={data.size}")
+    for function in module.functions.values():
+        parts.append(format_function(function))
+    return "\n\n".join(parts) + "\n"

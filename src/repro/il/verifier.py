@@ -1,0 +1,103 @@
+"""Structural verifier for IL modules.
+
+Run after lowering and after every inline-expansion pass in tests to
+guarantee the transformations preserve IL well-formedness:
+
+- every label referenced by a jump/branch/switch exists exactly once,
+- every frame slot referenced by FRAME exists in the function,
+- every direct call targets a defined function or declared external,
+- every GADDR names a known global, every FADDR a known function or
+  external,
+- call-site ids are unique program-wide,
+- argument counts of direct calls to defined functions match,
+- the function ends with a terminator (cannot fall off the end),
+- registers are written before read on at least one path (a cheap
+  forward scan, not full dataflow: catches renaming bugs in inlining).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ILError
+from repro.il.function import ILFunction
+from repro.il.instructions import Opcode, is_terminator
+from repro.il.module import ILModule
+
+
+def verify_function(module: ILModule, function: ILFunction) -> None:
+    labels = function.label_indices()
+    defined_regs = set(function.params)
+    seen_branch_target = False
+
+    for instr in function.body:
+        for label in instr.labels_used():
+            if label not in labels:
+                raise ILError(
+                    f"{function.name}: jump to unknown label {label!r}"
+                )
+        if instr.op is Opcode.FRAME:
+            if instr.name not in function.slots:
+                raise ILError(
+                    f"{function.name}: FRAME references unknown slot {instr.name!r}"
+                )
+        elif instr.op is Opcode.GADDR:
+            if instr.name not in module.globals:
+                raise ILError(
+                    f"{function.name}: GADDR references unknown global {instr.name!r}"
+                )
+        elif instr.op is Opcode.FADDR:
+            if instr.name not in module.functions and instr.name not in module.externals:
+                raise ILError(
+                    f"{function.name}: FADDR references unknown function {instr.name!r}"
+                )
+        elif instr.op is Opcode.CALL:
+            callee = module.functions.get(instr.name or "")
+            if callee is None:
+                if instr.name not in module.externals:
+                    raise ILError(
+                        f"{function.name}: call to unknown function {instr.name!r}"
+                    )
+            elif len(instr.args) != len(callee.params):
+                raise ILError(
+                    f"{function.name}: call to {instr.name} with {len(instr.args)}"
+                    f" args, expected {len(callee.params)}"
+                )
+            if instr.site < 0:
+                raise ILError(f"{function.name}: call without a site id")
+        elif instr.op is Opcode.ICALL and instr.site < 0:
+            raise ILError(f"{function.name}: indirect call without a site id")
+
+        # Cheap def-before-use scan. Once a branch target has appeared,
+        # linear order no longer implies execution order, so stop
+        # enforcing (a full dominator analysis would be overkill here).
+        if instr.op is Opcode.LABEL:
+            seen_branch_target = True
+        if not seen_branch_target:
+            for reg in instr.source_regs():
+                if reg not in defined_regs:
+                    raise ILError(
+                        f"{function.name}: register {reg!r} read before written"
+                    )
+        if instr.dst is not None:
+            defined_regs.add(instr.dst)
+
+    if not function.body or not is_terminator(function.body[-1]):
+        raise ILError(f"{function.name}: function may fall off the end")
+
+
+def verify_module(module: ILModule) -> None:
+    """Verify the whole module; raises ILError on the first defect."""
+    if module.entry not in module.functions:
+        raise ILError(f"entry function {module.entry!r} is not defined")
+    sites: set[int] = set()
+    for function in module.functions.values():
+        verify_function(module, function)
+        for instr in function.body:
+            if instr.op is Opcode.CALL or instr.op is Opcode.ICALL:
+                if instr.site in sites:
+                    raise ILError(
+                        f"duplicate call-site id {instr.site} (in {function.name})"
+                    )
+                sites.add(instr.site)
+    for name in module.address_taken:
+        if name not in module.functions and name not in module.externals:
+            raise ILError(f"address-taken function {name!r} does not exist")

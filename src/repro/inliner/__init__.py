@@ -1,0 +1,34 @@
+"""Profile-guided inline function expansion (the paper's §3).
+
+Pipeline: classify call sites → linearize functions by execution count →
+select expansion sites with the hazard-aware cost function → physically
+expand in linear order with path-qualified renaming.
+
+>>> from repro.inliner import InlineExpander, InlineParameters
+>>> # expander = InlineExpander(module, profile, InlineParameters())
+>>> # result = expander.run()
+"""
+
+from repro.inliner.classify import SiteClass, classify_sites, ClassifiedSites
+from repro.inliner.cost import INFINITY, CostModel
+from repro.inliner.expand import ExpansionRecord, expand_call_site
+from repro.inliner.linearize import linearize
+from repro.inliner.manager import InlineExpander, InlineResult
+from repro.inliner.params import InlineParameters
+from repro.inliner.select import SelectionResult, select_sites
+
+__all__ = [
+    "ClassifiedSites",
+    "CostModel",
+    "ExpansionRecord",
+    "INFINITY",
+    "InlineExpander",
+    "InlineParameters",
+    "InlineResult",
+    "SelectionResult",
+    "SiteClass",
+    "classify_sites",
+    "expand_call_site",
+    "linearize",
+    "select_sites",
+]

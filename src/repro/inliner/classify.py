@@ -1,0 +1,91 @@
+"""Static call-site classification (Tables 2 and 3).
+
+Every static call site falls into exactly one class:
+
+- ``EXTERNAL``: the callee body is unavailable (library/system call),
+- ``POINTER``: call through a pointer — defeats inline expansion,
+- ``UNSAFE``: expanding it would push a function body into a recursive
+  path with excessive control-stack usage, or its estimated execution
+  count is below the threshold (default 10),
+- ``SAFE``: everything else — the only candidates for expansion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.callgraph.cycles import recursive_functions
+from repro.callgraph.graph import ArcKind, CallGraph
+from repro.il.module import ILModule
+from repro.inliner.params import InlineParameters
+from repro.profiler.profile import ProfileData
+
+
+class SiteClass(enum.Enum):
+    EXTERNAL = "external"
+    POINTER = "pointer"
+    UNSAFE = "unsafe"
+    SAFE = "safe"
+
+
+@dataclass
+class ClassifiedSites:
+    """Classification of every static call site of a module."""
+
+    by_site: dict[int, SiteClass] = field(default_factory=dict)
+    #: Dynamic (profile-weighted) call counts per class.
+    dynamic: dict[SiteClass, float] = field(default_factory=dict)
+
+    @property
+    def total_static(self) -> int:
+        return len(self.by_site)
+
+    def static_count(self, site_class: SiteClass) -> int:
+        return sum(1 for c in self.by_site.values() if c is site_class)
+
+    def static_fraction(self, site_class: SiteClass) -> float:
+        total = self.total_static
+        return self.static_count(site_class) / total if total else 0.0
+
+    @property
+    def total_dynamic(self) -> float:
+        return sum(self.dynamic.values())
+
+    def dynamic_fraction(self, site_class: SiteClass) -> float:
+        total = self.total_dynamic
+        return self.dynamic.get(site_class, 0.0) / total if total else 0.0
+
+
+def classify_sites(
+    module: ILModule,
+    graph: CallGraph,
+    profile: ProfileData,
+    params: InlineParameters | None = None,
+) -> ClassifiedSites:
+    """Classify every static call site of ``module``."""
+    params = params or InlineParameters()
+    recursive = recursive_functions(graph)
+    result = ClassifiedSites()
+    for site_class in SiteClass:
+        result.dynamic[site_class] = 0.0
+
+    for arc in graph.call_site_arcs():
+        weight = profile.arc_weight(arc.site)
+        if arc.kind is ArcKind.EXTERNAL:
+            site_class = SiteClass.EXTERNAL
+        elif arc.kind is ArcKind.POINTER:
+            site_class = SiteClass.POINTER
+        else:
+            callee = module.functions[arc.callee]
+            stack_hazard = (
+                (arc.callee in recursive or arc.caller in recursive)
+                and callee.stack_usage() > params.stack_bound
+            ) or arc.callee == arc.caller
+            if stack_hazard or weight < params.weight_threshold:
+                site_class = SiteClass.UNSAFE
+            else:
+                site_class = SiteClass.SAFE
+        result.by_site[arc.site] = site_class
+        result.dynamic[site_class] += weight
+    return result

@@ -1,0 +1,127 @@
+"""The cost function of §2.3.3.
+
+::
+
+    cost(G, arc Ai) =
+        if (callee is recursive) and (control_stack_usage(Ai) > BOUND):
+            INFINITY
+        elif weight(Ai) < T:
+            INFINITY
+        elif code_size(callee) + code_size(program) > limit:
+            INFINITY
+        else:
+            code_size(callee)   # benefit term dropped: call costs are
+                                # roughly equal for all sites
+
+The model tracks *current* sizes and frame usage: both are re-evaluated
+as expansions are accepted, per §3.4 ("the code size of each function
+body must be re-evaluated as new function calls are considered") and §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import Arc, ArcKind, CallGraph
+from repro.il.function import CALL_OVERHEAD_BYTES, PARAM_WORD_BYTES
+from repro.il.module import ILModule
+from repro.inliner.params import InlineParameters
+
+INFINITY = float("inf")
+
+
+@dataclass
+class CostModel:
+    """Evaluates arc costs against evolving program state."""
+
+    module: ILModule
+    params: InlineParameters
+    recursive: set[str]
+    #: Current estimated code size per function (IL instructions).
+    sizes: dict[str, int] = field(default_factory=dict)
+    #: Current estimated frame size per function (bytes).
+    frames: dict[str, int] = field(default_factory=dict)
+    #: RET count per function. Each RET of an inlined body becomes a
+    #: jump plus (for value returns) a move, so it contributes to the
+    #: splice size. Inlining *into* a function never changes its own
+    #: RET count, so this is a constant per function.
+    rets: dict[str, int] = field(default_factory=dict)
+    program_size: int = 0
+    original_size: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.il.instructions import Opcode
+
+        for name, function in self.module.functions.items():
+            self.sizes[name] = function.code_size()
+            self.frames[name] = function.layout_frame()
+            self.rets[name] = sum(
+                1 for instr in function.body if instr.op is Opcode.RET
+            )
+        self.program_size = sum(self.sizes.values())
+        self.original_size = self.program_size
+
+    # ------------------------------------------------------------------
+
+    def control_stack_usage(self, arc: Arc) -> int:
+        """Control-stack bytes one activation of the callee adds at this
+        site (§2.3.2: parameters, saved registers, locals, return value)."""
+        callee = self.module.functions[arc.callee]
+        return (
+            CALL_OVERHEAD_BYTES
+            + self.frames[arc.callee]
+            + PARAM_WORD_BYTES * len(callee.params)
+        )
+
+    def cost(self, arc: Arc) -> float:
+        """§2.3.3's cost; INFINITY means the arc must not be expanded."""
+        if arc.kind is not ArcKind.DIRECT:
+            return INFINITY
+        if arc.caller == arc.callee:
+            # Simple recursion is out of scope (§2.3): the recursive
+            # call must target the original copy anyway.
+            return INFINITY
+        # Control-stack hazard (§2.3.2): expanding a call with high
+        # stack usage *into a recursion* explodes the stack. The paper's
+        # m(x)/n(x) example makes the caller's recursion the danger, its
+        # cost function names the callee's; guard both.
+        if (
+            arc.callee in self.recursive or arc.caller in self.recursive
+        ) and self.control_stack_usage(arc) > self.params.stack_bound:
+            return INFINITY
+        if arc.weight < self.params.weight_threshold:
+            return INFINITY
+        callee = self.module.functions[arc.callee]
+        added = (
+            self.sizes[arc.callee] + len(callee.params) + self.rets[arc.callee] - 1
+        )
+        if self.program_size + added > self.params.size_limit(self.original_size):
+            return INFINITY
+        return float(self.sizes[arc.callee])
+
+    def commit(self, arc: Arc) -> None:
+        """Account for an accepted expansion.
+
+        Mirrors :func:`repro.inliner.expand.expand_call_site` exactly:
+        the caller gains the callee's body, one parameter-buffer move
+        per formal, and one result move per RET (upper bound: value
+        calls), while the call instruction itself disappears.
+        """
+        callee_size = self.sizes[arc.callee]
+        callee = self.module.functions[arc.callee]
+        added = callee_size + len(callee.params) + self.rets[arc.callee]
+        self.sizes[arc.caller] += added - 1  # the call itself goes away
+        self.program_size += added - 1
+        self.frames[arc.caller] += self.frames[arc.callee]
+        # When the caller is inlined later, its body carries the copy's
+        # rewritten returns; its own RET count is unchanged.
+
+
+def make_cost_model(
+    module: ILModule,
+    graph: CallGraph,
+    params: InlineParameters,
+) -> CostModel:
+    from repro.callgraph.cycles import recursive_functions
+
+    return CostModel(module, params, recursive_functions(graph))

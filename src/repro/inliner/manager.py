@@ -1,0 +1,131 @@
+"""The inline expansion driver (§3).
+
+Ties the phases together, on a *copy* of the input module:
+
+1. profile-weighted call graph construction,
+2. linearization (sort functions by execution count),
+3. expansion-site selection via the cost function,
+4. physical expansion in linear order (each function's expansions are
+   finished before any function later in the sequence starts, so the
+   most recent definition of every callee can be cached — our in-memory
+   modules make the paper's write-back definition cache implicit),
+5. optional conservative unreachable-function elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.build import build_call_graph
+from repro.callgraph.graph import ArcStatus, CallGraph
+from repro.callgraph.reachability import eliminate_unreachable
+from repro.il.module import ILModule
+from repro.il.verifier import verify_module
+from repro.inliner.classify import ClassifiedSites, classify_sites
+from repro.inliner.expand import ExpansionRecord, expand_call_site
+from repro.inliner.linearize import linearize
+from repro.inliner.params import InlineParameters
+from repro.inliner.select import SelectionResult, select_sites
+from repro.profiler.profile import ProfileData
+
+
+@dataclass
+class InlineResult:
+    """Everything the expansion produced, plus the numbers Table 4 needs."""
+
+    module: ILModule
+    graph: CallGraph
+    sequence: list[str]
+    selection: SelectionResult
+    classified: ClassifiedSites
+    records: list[ExpansionRecord] = field(default_factory=list)
+    removed_functions: list[str] = field(default_factory=list)
+    original_size: int = 0
+    final_size: int = 0
+
+    @property
+    def code_increase(self) -> float:
+        """Static code growth fraction (Table 4's *code inc*)."""
+        if self.original_size == 0:
+            return 0.0
+        return (self.final_size - self.original_size) / self.original_size
+
+    @property
+    def expanded_sites(self) -> set[int]:
+        return {record.site for record in self.records}
+
+
+class InlineExpander:
+    """Runs the complete §3 pipeline on a copy of the module."""
+
+    def __init__(
+        self,
+        module: ILModule,
+        profile: ProfileData,
+        params: InlineParameters | None = None,
+        seed: int = 0,
+        remove_unreachable: bool = True,
+        verify: bool = True,
+        linearize_method: str = "hybrid",
+    ):
+        self._input = module
+        self._profile = profile
+        self._params = params or InlineParameters()
+        self._seed = seed
+        self._remove_unreachable = remove_unreachable
+        self._verify = verify
+        self._linearize_method = linearize_method
+
+    def run(self) -> InlineResult:
+        module = self._input.clone()
+        original_size = module.total_code_size()
+        graph = build_call_graph(module, self._profile)
+        classified = classify_sites(module, graph, self._profile, self._params)
+        sequence = linearize(module, self._profile, self._seed, self._linearize_method)
+        selection = select_sites(
+            module, graph, self._profile, sequence, self._params, seed=self._seed
+        )
+
+        # Physical expansion follows the linear sequence: every selected
+        # arc whose caller is the current function is expanded, so each
+        # callee is final before anyone inlines it (minimal expansions,
+        # §2.7).
+        by_caller: dict[str, list] = {}
+        for arc in selection.selected:
+            by_caller.setdefault(arc.caller, []).append(arc)
+        records: list[ExpansionRecord] = []
+        for name in sequence:
+            for arc in by_caller.get(name, ()):
+                record = expand_call_site(module, arc.caller, arc.site)
+                arc.status = ArcStatus.EXPANDED
+                records.append(record)
+
+        removed: list[str] = []
+        if self._remove_unreachable:
+            removed = eliminate_unreachable(module, build_call_graph(module))
+        if self._verify:
+            verify_module(module)
+        return InlineResult(
+            module=module,
+            graph=graph,
+            sequence=sequence,
+            selection=selection,
+            classified=classified,
+            records=records,
+            removed_functions=removed,
+            original_size=original_size,
+            final_size=module.total_code_size(),
+        )
+
+
+def inline_module(
+    module: ILModule,
+    profile: ProfileData,
+    params: InlineParameters | None = None,
+    seed: int = 0,
+    linearize_method: str = "hybrid",
+) -> InlineResult:
+    """One-call convenience wrapper around :class:`InlineExpander`."""
+    return InlineExpander(
+        module, profile, params, seed, linearize_method=linearize_method
+    ).run()

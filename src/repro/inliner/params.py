@@ -1,0 +1,43 @@
+"""Tunable parameters of the inline expander."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class InlineParameters:
+    """Knobs of the paper's cost function and hazard guards (§2.3).
+
+    ``weight_threshold``
+        T in the cost function: arcs whose expected invocation count is
+        below it are never expanded. The paper's static classification
+        uses 10 ("an estimated execution count less than 10").
+    ``stack_bound``
+        BOUND in the cost function: a call that would place more than
+        this many bytes of control stack into a recursive cycle is
+        rejected (cost = INFINITY), preventing control stack explosion
+        (§2.3.2).
+    ``size_limit_factor``
+        Upper limit on program size as a multiple of the original IL
+        size (§2.3.1's "function of the original program size").
+    ``size_limit_fixed``
+        Alternative fixed instruction-count cap (§2.3.1's "fixed
+        number", mandatory on virtual-space-limited machines). ``None``
+        means no fixed cap; when both are set the tighter one wins.
+    ``max_expansions``
+        Safety valve on the number of physical expansions.
+    """
+
+    weight_threshold: float = 10.0
+    stack_bound: int = 16384
+    size_limit_factor: float = 1.25
+    size_limit_fixed: int | None = None
+    max_expansions: int = 100_000
+
+    def size_limit(self, original_size: int) -> int:
+        """Program-size ceiling for an original size, in IL instructions."""
+        scaled = int(original_size * self.size_limit_factor)
+        if self.size_limit_fixed is not None:
+            return min(scaled, self.size_limit_fixed)
+        return scaled

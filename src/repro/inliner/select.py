@@ -1,0 +1,89 @@
+"""Expansion-site selection (§3.4).
+
+Arcs violating the linear order, and all arcs touching ``$$$``/``###``,
+are marked not-expandable. The remaining arcs are visited from heaviest
+to lightest; each is accepted when the cost function says it is finite,
+and the cost model's size/frame state is updated immediately so later
+decisions see the grown caller.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import Arc, ArcKind, ArcStatus, CallGraph
+from repro.il.module import ILModule
+from repro.inliner.cost import INFINITY, CostModel, make_cost_model
+from repro.inliner.linearize import order_index
+from repro.inliner.params import InlineParameters
+from repro.profiler.profile import ProfileData
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of the selection phase."""
+
+    #: Arcs to physically expand, heaviest first.
+    selected: list[Arc] = field(default_factory=list)
+    rejected: list[Arc] = field(default_factory=list)
+    not_expandable: list[Arc] = field(default_factory=list)
+    #: Projected program size after expansion (IL instructions).
+    projected_size: int = 0
+    original_size: int = 0
+    #: Expected dynamic calls eliminated (sum of selected arc weights).
+    expected_calls_eliminated: float = 0.0
+
+
+def select_sites(
+    module: ILModule,
+    graph: CallGraph,
+    profile: ProfileData,
+    sequence: list[str],
+    params: InlineParameters | None = None,
+    cost_model: CostModel | None = None,
+    seed: int = 0,
+) -> SelectionResult:
+    """Choose the arcs to expand, following the paper's §3.4."""
+    params = params or InlineParameters()
+    model = cost_model or make_cost_model(module, graph, params)
+    position = order_index(sequence)
+    result = SelectionResult(original_size=model.program_size)
+
+    expandable: list[Arc] = []
+    for arc in graph.call_site_arcs():
+        if arc.kind is not ArcKind.DIRECT:
+            arc.status = ArcStatus.NOT_EXPANDABLE
+            result.not_expandable.append(arc)
+            continue
+        callee_pos = position.get(arc.callee)
+        caller_pos = position.get(arc.caller)
+        if callee_pos is None or caller_pos is None or callee_pos >= caller_pos:
+            arc.status = ArcStatus.NOT_EXPANDABLE
+            result.not_expandable.append(arc)
+            continue
+        arc.status = ArcStatus.EXPANDABLE
+        expandable.append(arc)
+
+    # "Place all expandable arcs randomly in a list; sort the list
+    # according to the arc weights" — the shuffle only breaks ties.
+    rng = random.Random(seed)
+    rng.shuffle(expandable)
+    expandable.sort(key=lambda arc: -arc.weight)
+
+    for arc in expandable:
+        if len(result.selected) >= params.max_expansions:
+            arc.status = ArcStatus.REJECTED
+            result.rejected.append(arc)
+            continue
+        if model.cost(arc) < INFINITY:
+            arc.status = ArcStatus.TO_BE_EXPANDED
+            model.commit(arc)
+            result.selected.append(arc)
+            result.expected_calls_eliminated += arc.weight
+        else:
+            arc.status = ArcStatus.REJECTED
+            result.rejected.append(arc)
+
+    result.projected_size = model.program_size
+    return result

@@ -1,0 +1,17 @@
+"""Profile-guided code placement.
+
+The companion direction to inline expansion in the IMPACT-I project
+(the paper's refs 17–18 cover trace selection and instruction-cache
+performance): place functions that call each other hot next to each
+other, so call transfers stay within cache lines. Used together with
+:mod:`repro.icache` to compare "fix locality by layout" against "fix
+locality by inlining".
+"""
+
+from repro.layout.placement import (
+    PlacementResult,
+    affinity_order,
+    placement_experiment,
+)
+
+__all__ = ["PlacementResult", "affinity_order", "placement_experiment"]

@@ -1,0 +1,40 @@
+"""Code-improving transformations around inline expansion.
+
+The paper applies constant folding and jump optimization before inline
+expansion (§4.4) and names register allocation, code scheduling, common
+subexpression elimination, constant propagation, copy propagation, and
+dead code elimination as beneficiaries of inlining (§1.2, §2.4). This
+package implements the machine-independent subset relevant at IL level:
+
+- constant folding and propagation (block-local),
+- copy propagation (block-local),
+- dead code elimination (function-level),
+- jump optimization (threading, dead-code sweeping, label cleanup).
+"""
+
+from repro.opt.constant_fold import fold_constants
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.copy_prop import propagate_copies
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.jump_opt import optimize_jumps
+from repro.opt.licm import licm_function, licm_module
+from repro.opt.tail_recursion import (
+    eliminate_tail_recursion,
+    eliminate_tail_recursion_module,
+)
+from repro.opt.pipeline import OptimizationStats, optimize_function, optimize_module
+
+__all__ = [
+    "OptimizationStats",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "eliminate_tail_recursion",
+    "eliminate_tail_recursion_module",
+    "fold_constants",
+    "licm_function",
+    "licm_module",
+    "optimize_function",
+    "optimize_jumps",
+    "optimize_module",
+    "propagate_copies",
+]

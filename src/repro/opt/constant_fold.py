@@ -1,0 +1,109 @@
+"""Constant folding and propagation.
+
+A forward, block-local pass: known-constant registers are substituted
+into operands, arithmetic on constants is evaluated with the VM's exact
+32-bit semantics, and conditional jumps/switches on constants become
+unconditional jumps. Facts are dropped at labels (block boundaries);
+within a block a call only kills its destination register, because IL
+registers are function-private.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.constexpr import apply_binary, apply_unary
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode, Operand
+
+
+def _subst(value: Operand | None, consts: dict[str, int]) -> Operand | None:
+    if isinstance(value, str) and value in consts:
+        return consts[value]
+    return value
+
+
+def fold_constants(function: ILFunction) -> int:
+    """Fold and propagate constants in place; returns changes made."""
+    changes = 0
+    consts: dict[str, int] = {}
+    new_body: list[Instr] = []
+
+    for instr in function.body:
+        op = instr.op
+        if op is Opcode.LABEL:
+            consts.clear()
+            new_body.append(instr)
+            continue
+
+        original_a, original_b = instr.a, instr.b
+        if op in (
+            Opcode.MOV,
+            Opcode.BIN,
+            Opcode.UN,
+            Opcode.LOAD,
+            Opcode.STORE,
+            Opcode.RET,
+            Opcode.CJUMP,
+            Opcode.SWITCH,
+            Opcode.ICALL,
+        ):
+            instr.a = _subst(instr.a, consts)
+            instr.b = _subst(instr.b, consts)
+        if op in (Opcode.CALL, Opcode.ICALL):
+            new_args = [_subst(arg, consts) for arg in instr.args]
+            if new_args != instr.args:
+                instr.args = new_args
+                changes += 1
+        if instr.a is not original_a or instr.b is not original_b:
+            changes += 1
+
+        if op is Opcode.CONST:
+            consts[instr.dst] = instr.a
+        elif op is Opcode.MOV:
+            if isinstance(instr.a, int):
+                instr = Instr(Opcode.CONST, dst=instr.dst, a=instr.a)
+                consts[instr.dst] = instr.a
+                changes += 1
+            else:
+                consts.pop(instr.dst, None)
+        elif op is Opcode.BIN:
+            if isinstance(instr.a, int) and isinstance(instr.b, int):
+                try:
+                    value = apply_binary(instr.op2, instr.a, instr.b)
+                except ZeroDivisionError:
+                    value = None  # leave the trap for runtime
+                if value is not None:
+                    instr = Instr(Opcode.CONST, dst=instr.dst, a=value)
+                    consts[instr.dst] = value
+                    changes += 1
+                else:
+                    consts.pop(instr.dst, None)
+            else:
+                consts.pop(instr.dst, None)
+        elif op is Opcode.UN:
+            if isinstance(instr.a, int):
+                value = apply_unary(instr.op2, instr.a) if instr.op2 != "sxt8" else (
+                    ((instr.a & 0xFF) ^ 0x80) - 0x80
+                )
+                instr = Instr(Opcode.CONST, dst=instr.dst, a=value)
+                consts[instr.dst] = value
+                changes += 1
+            else:
+                consts.pop(instr.dst, None)
+        elif op is Opcode.CJUMP:
+            if isinstance(instr.a, int):
+                target = instr.label if instr.a else instr.label2
+                instr = Instr(Opcode.JUMP, label=target)
+                changes += 1
+        elif op is Opcode.SWITCH:
+            if isinstance(instr.a, int):
+                target = dict(instr.cases).get(instr.a, instr.label2)
+                instr = Instr(Opcode.JUMP, label=target)
+                changes += 1
+        elif instr.dst is not None:
+            # FRAME/GADDR/FADDR/CALL/ICALL/LOAD: destination no longer
+            # a known constant.
+            consts.pop(instr.dst, None)
+        new_body.append(instr)
+
+    function.body = new_body
+    return changes

@@ -1,0 +1,71 @@
+"""Copy propagation.
+
+Block-local: after ``MOV dst, src`` every later use of ``dst`` in the
+block is replaced by ``src`` until either register is redefined. This is
+the pass the paper expects to clean up the parameter-buffer moves that
+physical inline expansion introduces (§2.4: "copy propagation and other
+optimizations can be applied to eliminate unnecessary overhead
+instructions").
+"""
+
+from __future__ import annotations
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Opcode, Operand
+
+
+def propagate_copies(function: ILFunction) -> int:
+    """Propagate register copies in place; returns changes made."""
+    changes = 0
+    # copy_of[r] = s means r currently holds the same value as s.
+    copy_of: dict[str, str] = {}
+    # users[s] = registers currently known to be copies of s.
+    users: dict[str, set[str]] = {}
+
+    def kill(reg: str) -> None:
+        source = copy_of.pop(reg, None)
+        if source is not None:
+            users.get(source, set()).discard(reg)
+        for copied in users.pop(reg, set()):
+            copy_of.pop(copied, None)
+
+    def subst(value: Operand | None) -> Operand | None:
+        if isinstance(value, str):
+            return copy_of.get(value, value)
+        return value
+
+    for instr in function.body:
+        op = instr.op
+        if op is Opcode.LABEL:
+            copy_of.clear()
+            users.clear()
+            continue
+
+        original_a, original_b = instr.a, instr.b
+        if op in (
+            Opcode.MOV,
+            Opcode.BIN,
+            Opcode.UN,
+            Opcode.LOAD,
+            Opcode.STORE,
+            Opcode.RET,
+            Opcode.CJUMP,
+            Opcode.SWITCH,
+            Opcode.ICALL,
+        ):
+            instr.a = subst(instr.a)
+            instr.b = subst(instr.b)
+        if op in (Opcode.CALL, Opcode.ICALL):
+            new_args = [subst(arg) for arg in instr.args]
+            if new_args != instr.args:
+                instr.args = new_args
+                changes += 1
+        if instr.a is not original_a or instr.b is not original_b:
+            changes += 1
+
+        if instr.dst is not None:
+            kill(instr.dst)
+            if op is Opcode.MOV and isinstance(instr.a, str) and instr.a != instr.dst:
+                copy_of[instr.dst] = instr.a
+                users.setdefault(instr.a, set()).add(instr.dst)
+    return changes

@@ -1,0 +1,82 @@
+"""Local common subexpression elimination (value numbering).
+
+The paper lists CSE among the optimizations whose scope inline
+expansion enlarges (§1, §1.2): after a callee is spliced in, its
+address computations often repeat the caller's. This pass removes the
+redundancy block-locally: pure computations with operands of known
+value numbers are replaced by moves from the first computation's
+result.
+"""
+
+from __future__ import annotations
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode, Operand
+
+
+def eliminate_common_subexpressions(function: ILFunction) -> int:
+    """Value-number each block in place; returns replacements made."""
+    changes = 0
+    value_number: dict[str, int] = {}
+    next_vn = [0]
+    #: (kind, details...) -> (vn, register holding it)
+    table: dict[tuple, tuple[int, str]] = {}
+
+    def fresh_vn() -> int:
+        next_vn[0] += 1
+        return next_vn[0]
+
+    def vn_of(operand: Operand | None):
+        if isinstance(operand, int):
+            return ("const", operand)
+        if operand is None:
+            return None
+        number = value_number.get(operand)
+        if number is None:
+            number = fresh_vn()
+            value_number[operand] = number
+        return number
+
+    def reset() -> None:
+        value_number.clear()
+        table.clear()
+
+    for index, instr in enumerate(function.body):
+        op = instr.op
+        if op is Opcode.LABEL:
+            reset()
+            continue
+        key: tuple | None = None
+        if op is Opcode.BIN:
+            left, right = vn_of(instr.a), vn_of(instr.b)
+            if instr.op2 in ("+", "*", "&", "|", "^", "==", "!="):
+                left, right = sorted((left, right), key=repr)  # commutative
+            key = ("bin", instr.op2, left, right)
+        elif op is Opcode.UN:
+            key = ("un", instr.op2, vn_of(instr.a))
+        elif op is Opcode.FRAME:
+            key = ("frame", instr.name)
+        elif op is Opcode.GADDR:
+            key = ("gaddr", instr.name)
+        elif op is Opcode.FADDR:
+            key = ("faddr", instr.name)
+
+        if key is not None:
+            hit = table.get(key)
+            if hit is not None and value_number.get(hit[1]) == hit[0]:
+                # The register still holds that value: reuse it.
+                function.body[index] = Instr(Opcode.MOV, dst=instr.dst, a=hit[1])
+                value_number[instr.dst] = hit[0]
+                changes += 1
+                continue
+            number = fresh_vn()
+            value_number[instr.dst] = number
+            table[key] = (number, instr.dst)
+            continue
+
+        if op is Opcode.MOV and isinstance(instr.a, str):
+            value_number[instr.dst] = vn_of(instr.a)
+        elif instr.dst is not None:
+            # CONST/LOAD/CALL/ICALL: a fresh, unknown value.
+            value_number[instr.dst] = fresh_vn()
+    return changes

@@ -1,0 +1,77 @@
+"""Dead code elimination.
+
+Function-level: an instruction is dead when it has a destination
+register that is never read anywhere in the function and the
+instruction has no side effects. Calls always survive (they may perform
+I/O); stores and control transfers have no destination and survive.
+Dead loads are removed too — this changes trapping behaviour on wild
+pointers, the usual compiler licence.
+
+Runs a worklist to a fixpoint so chains of dead definitions disappear
+in one call.
+"""
+
+from __future__ import annotations
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Opcode
+
+#: Opcodes safe to delete when their destination is unread.
+_PURE_OPS = frozenset(
+    {
+        Opcode.CONST,
+        Opcode.MOV,
+        Opcode.BIN,
+        Opcode.UN,
+        Opcode.FRAME,
+        Opcode.GADDR,
+        Opcode.FADDR,
+        Opcode.LOAD,
+    }
+)
+
+
+def eliminate_dead_code(function: ILFunction) -> int:
+    """Remove dead pure instructions in place; returns removals."""
+    use_counts: dict[str, int] = {}
+    for instr in function.body:
+        for reg in instr.source_regs():
+            use_counts[reg] = use_counts.get(reg, 0) + 1
+
+    alive = [True] * len(function.body)
+    # Seed the worklist with every currently-dead pure definition.
+    worklist = [
+        index
+        for index, instr in enumerate(function.body)
+        if instr.op in _PURE_OPS
+        and instr.dst is not None
+        and use_counts.get(instr.dst, 0) == 0
+    ]
+    removed = 0
+    # Map from register to defining indices for cascade processing.
+    defs: dict[str, list[int]] = {}
+    for index, instr in enumerate(function.body):
+        if instr.dst is not None:
+            defs.setdefault(instr.dst, []).append(index)
+
+    while worklist:
+        index = worklist.pop()
+        if not alive[index]:
+            continue
+        instr = function.body[index]
+        if instr.dst is None or use_counts.get(instr.dst, 0) != 0:
+            continue
+        if instr.op not in _PURE_OPS:
+            continue
+        alive[index] = False
+        removed += 1
+        for reg in instr.source_regs():
+            use_counts[reg] -= 1
+            if use_counts[reg] == 0:
+                worklist.extend(defs.get(reg, ()))
+
+    if removed:
+        function.body = [
+            instr for index, instr in enumerate(function.body) if alive[index]
+        ]
+    return removed

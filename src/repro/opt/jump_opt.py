@@ -1,0 +1,117 @@
+"""Jump optimization.
+
+Four cleanups, iterated by the pipeline until quiet:
+
+1. *Jump threading*: a branch to a label whose only content is another
+   unconditional jump is retargeted to the final destination.
+2. *Branch collapsing*: a conditional jump with identical targets
+   becomes an unconditional jump.
+3. *Fallthrough removal*: a jump to the label immediately following it
+   is deleted.
+4. *Unreachable sweep*: instructions between a terminator and the next
+   label can never execute and are removed, and labels that nothing
+   references are dropped.
+"""
+
+from __future__ import annotations
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode, is_terminator
+
+
+def _thread_map(function: ILFunction) -> dict[str, str]:
+    """label -> ultimate label reached through chains of bare jumps."""
+    next_hop: dict[str, str] = {}
+    body = function.body
+    for index, instr in enumerate(body):
+        if instr.op is not Opcode.LABEL:
+            continue
+        cursor = index + 1
+        while cursor < len(body) and body[cursor].op is Opcode.LABEL:
+            cursor += 1
+        if cursor < len(body) and body[cursor].op is Opcode.JUMP:
+            target = body[cursor].label
+            if target != instr.label:
+                next_hop[instr.label] = target
+    resolved: dict[str, str] = {}
+    for label in next_hop:
+        seen = {label}
+        cursor = label
+        while cursor in next_hop and next_hop[cursor] not in seen:
+            cursor = next_hop[cursor]
+            seen.add(cursor)
+        if cursor != label:
+            resolved[label] = cursor
+    return resolved
+
+
+def optimize_jumps(function: ILFunction) -> int:
+    """Apply all four cleanups once; returns the number of changes."""
+    changes = 0
+    body = function.body
+
+    # 1. Jump threading.
+    threading = _thread_map(function)
+    if threading:
+        for instr in body:
+            before = (instr.label, instr.label2, tuple(instr.cases))
+            if instr.op in (Opcode.JUMP, Opcode.CJUMP, Opcode.SWITCH):
+                instr.retarget_labels(threading)
+                if (instr.label, instr.label2, tuple(instr.cases)) != before:
+                    changes += 1
+
+    # 2. Branch collapsing.
+    for index, instr in enumerate(body):
+        if instr.op is Opcode.CJUMP and instr.label == instr.label2:
+            body[index] = Instr(Opcode.JUMP, label=instr.label)
+            changes += 1
+        elif instr.op is Opcode.SWITCH:
+            targets = {label for _, label in instr.cases} | {instr.label2}
+            if len(targets) == 1:
+                body[index] = Instr(Opcode.JUMP, label=instr.label2)
+                changes += 1
+
+    # 3. Fallthrough removal.
+    new_body: list[Instr] = []
+    for index, instr in enumerate(body):
+        if instr.op is Opcode.JUMP:
+            cursor = index + 1
+            falls_through = False
+            while cursor < len(body) and body[cursor].op is Opcode.LABEL:
+                if body[cursor].label == instr.label:
+                    falls_through = True
+                    break
+                cursor += 1
+            if falls_through:
+                changes += 1
+                continue
+        new_body.append(instr)
+    body = new_body
+
+    # 4a. Unreachable instruction sweep.
+    swept: list[Instr] = []
+    unreachable = False
+    for instr in body:
+        if instr.op is Opcode.LABEL:
+            unreachable = False
+        if unreachable:
+            changes += 1
+            continue
+        swept.append(instr)
+        if is_terminator(instr):
+            unreachable = True
+    body = swept
+
+    # 4b. Unreferenced label removal.
+    referenced: set[str] = set()
+    for instr in body:
+        referenced.update(instr.labels_used())
+    cleaned: list[Instr] = []
+    for instr in body:
+        if instr.op is Opcode.LABEL and instr.label not in referenced:
+            changes += 1
+            continue
+        cleaned.append(instr)
+
+    function.body = cleaned
+    return changes

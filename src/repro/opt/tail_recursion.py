@@ -1,0 +1,98 @@
+"""Tail-recursion elimination.
+
+The paper notes (§2.2) that "there are standard ways of removing tail
+recursion and expanding simple recursive functions"; inline expansion
+itself refuses simple recursion, so this pass is the companion that
+handles it: a self-call whose result immediately reaches a RET (or a
+void self-call directly before RET) is rewritten into parameter
+re-assignment plus a jump back to the function entry.
+
+This converts the recursion's calls/returns into ordinary control
+transfers and removes the control-stack growth entirely — stronger than
+the one-iteration absorption inline expansion could give.
+"""
+
+from __future__ import annotations
+
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode
+from repro.il.module import ILModule
+
+_ENTRY_LABEL = "tailrec/entry"
+
+
+def _returned_register(function: ILFunction, index: int) -> str | None:
+    """If body[index+1] is ``RET r`` (possibly via a MOV), return r."""
+    if index + 1 >= len(function.body):
+        return None
+    nxt = function.body[index + 1]
+    if nxt.op is Opcode.RET:
+        if nxt.a is None:
+            return "__void__"
+        if isinstance(nxt.a, str):
+            return nxt.a
+    return None
+
+
+def eliminate_tail_recursion(function: ILFunction) -> int:
+    """Rewrite self tail calls in place; returns rewrites performed.
+
+    Recognized shape: ``t = call self(args); ret t`` (or ``call self(...)``
+    directly followed by ``ret`` in a void function). The call becomes
+    moves of the arguments into fresh shadow registers, moves of the
+    shadows into the parameter registers, and a jump to the entry label
+    (shadows make ``f(b, a)``-style swaps safe).
+    """
+    rewrites = 0
+    entry_placed = bool(
+        function.body
+        and function.body[0].op is Opcode.LABEL
+        and function.body[0].label == _ENTRY_LABEL
+    )
+    index = 0
+    while index < len(function.body):
+        instr = function.body[index]
+        if instr.op is not Opcode.CALL or instr.name != function.name:
+            index += 1
+            continue
+        returned = _returned_register(function, index)
+        is_tail = (
+            returned is not None
+            and (
+                returned == "__void__"
+                or (instr.dst is not None and returned == instr.dst)
+            )
+            and len(instr.args) == len(function.params)
+        )
+        if not is_tail:
+            index += 1
+            continue
+        if not entry_placed:
+            function.body.insert(0, Instr(Opcode.LABEL, label=_ENTRY_LABEL))
+            index += 1  # everything shifted by the new label
+            entry_placed = True
+        replacement: list[Instr] = []
+        shadows: list[str] = []
+        for arg in instr.args:
+            shadow = function.new_temp("tail")
+            shadows.append(shadow)
+            if isinstance(arg, str):
+                replacement.append(Instr(Opcode.MOV, dst=shadow, a=arg))
+            else:
+                replacement.append(Instr(Opcode.CONST, dst=shadow, a=arg))
+        for param, shadow in zip(function.params, shadows):
+            replacement.append(Instr(Opcode.MOV, dst=param, a=shadow))
+        replacement.append(Instr(Opcode.JUMP, label=_ENTRY_LABEL))
+        # Replace the call and the RET it fed.
+        function.body[index : index + 2] = replacement
+        rewrites += 1
+        index += len(replacement)
+    return rewrites
+
+
+def eliminate_tail_recursion_module(module: ILModule) -> int:
+    """Apply tail-recursion elimination to every function."""
+    total = 0
+    for function in module.functions.values():
+        total += eliminate_tail_recursion(function)
+    return total

@@ -1,0 +1,108 @@
+"""Multi-run profiling of IL modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.il.module import ILModule
+from repro.vm.counters import Counters
+from repro.vm.machine import Machine, RunResult
+from repro.vm.os import VirtualOS
+
+
+@dataclass
+class RunSpec:
+    """One profiling input: stdin bytes, a file system, and argv."""
+
+    stdin: bytes = b""
+    files: dict[str, bytes] = field(default_factory=dict)
+    argv: list[str] = field(default_factory=list)
+    #: Free-form tag, used in experiment logs.
+    label: str = ""
+
+    def make_os(self) -> VirtualOS:
+        return VirtualOS(stdin=self.stdin, files=dict(self.files), argv=list(self.argv))
+
+
+@dataclass
+class ProfileData:
+    """Averaged dynamic statistics over a set of runs.
+
+    ``node_weights`` maps function names to expected execution counts
+    per typical run; ``arc_weights`` maps static call-site ids to
+    expected invocation counts — exactly the weighted-call-graph inputs
+    of §2.2. Totals over all runs are kept in ``total``.
+    """
+
+    runs: int
+    total: Counters
+    node_weights: dict[str, float] = field(default_factory=dict)
+    arc_weights: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def avg_il(self) -> float:
+        return self.total.il / self.runs if self.runs else 0.0
+
+    @property
+    def avg_ct(self) -> float:
+        return self.total.ct / self.runs if self.runs else 0.0
+
+    @property
+    def avg_calls(self) -> float:
+        return self.total.calls / self.runs if self.runs else 0.0
+
+    def node_weight(self, name: str) -> float:
+        return self.node_weights.get(name, 0.0)
+
+    def arc_weight(self, site: int) -> float:
+        return self.arc_weights.get(site, 0.0)
+
+    @classmethod
+    def from_counters(cls, total: Counters, runs: int) -> "ProfileData":
+        profile = cls(runs=runs, total=total)
+        divisor = runs if runs else 1
+        profile.node_weights = {
+            name: count / divisor for name, count in total.func_counts.items()
+        }
+        profile.arc_weights = {
+            site: count / divisor for site, count in total.site_counts.items()
+        }
+        return profile
+
+
+def run_once(
+    module: ILModule,
+    spec: RunSpec | None = None,
+    fuel: int = 2_000_000_000,
+    collect_branches: bool = False,
+) -> RunResult:
+    """Execute ``module`` once under ``spec`` and return the result."""
+    os = spec.make_os() if spec is not None else VirtualOS()
+    machine = Machine(module, os, fuel=fuel, collect_branches=collect_branches)
+    return machine.run()
+
+
+def profile_module(
+    module: ILModule,
+    specs: list[RunSpec],
+    fuel: int = 2_000_000_000,
+    check_exit: bool = True,
+) -> ProfileData:
+    """Profile ``module`` over every input in ``specs``.
+
+    Raises RuntimeError when a run exits non-zero and ``check_exit`` is
+    set, because a crashed run would silently poison the weights.
+    """
+    if not specs:
+        raise ValueError("profiling requires at least one input")
+    total = Counters()
+    for index, spec in enumerate(specs):
+        result = run_once(module, spec, fuel=fuel)
+        if check_exit and result.exit_code != 0:
+            label = spec.label or f"run {index}"
+            raise RuntimeError(
+                f"profiling input {label!r} exited with {result.exit_code};"
+                f" stderr: {result.os.stderr_text()[:200]!r}"
+            )
+        total.merge(result.counters)
+    return ProfileData.from_counters(total, len(specs))

@@ -1,0 +1,88 @@
+"""Profile persistence — the profiler-to-compiler interface.
+
+The paper's §1.2: "The IMPACT-I Profiler to C Compiler interface allows
+the profile information to be automatically used by the IMPACT-I C
+Compiler." In a real toolchain that interface is a file; this module
+provides the JSON round trip, with a content fingerprint so a stale
+profile is rejected rather than silently misapplied to changed code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.il.module import ILModule
+from repro.profiler.profile import ProfileData
+from repro.vm.counters import Counters
+
+FORMAT_VERSION = 1
+
+
+def module_fingerprint(module: ILModule) -> str:
+    """A stable hash of the module's call-site structure.
+
+    Covers what the profile is keyed by: function names and the
+    (caller, site id, callee) triples. Code edits that renumber or move
+    call sites invalidate the profile; pure body edits do not.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(module.functions):
+        digest.update(name.encode())
+        digest.update(b"\x00")
+    for caller, instr in sorted(
+        module.call_sites(), key=lambda pair: pair[1].site
+    ):
+        callee = instr.name if instr.name else "<indirect>"
+        digest.update(f"{caller}:{instr.site}:{callee};".encode())
+    return digest.hexdigest()[:16]
+
+
+def dump_profile(profile: ProfileData, module: ILModule | None = None) -> str:
+    """Serialize a profile (optionally bound to a module fingerprint)."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "runs": profile.runs,
+        "totals": {
+            "il": profile.total.il,
+            "ct": profile.total.ct,
+            "calls": profile.total.calls,
+            "returns": profile.total.returns,
+        },
+        "node_weights": profile.node_weights,
+        "arc_weights": {str(site): w for site, w in profile.arc_weights.items()},
+    }
+    if module is not None:
+        payload["fingerprint"] = module_fingerprint(module)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_profile(text: str, module: ILModule | None = None) -> ProfileData:
+    """Deserialize; raises ValueError on version/fingerprint mismatch."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported profile format {payload.get('format')!r}"
+        )
+    if module is not None and "fingerprint" in payload:
+        expected = module_fingerprint(module)
+        if payload["fingerprint"] != expected:
+            raise ValueError(
+                "profile fingerprint mismatch: the program's call sites"
+                " changed since this profile was collected"
+            )
+    totals = payload.get("totals", {})
+    counters = Counters(
+        il=int(totals.get("il", 0)),
+        ct=int(totals.get("ct", 0)),
+        calls=int(totals.get("calls", 0)),
+        returns=int(totals.get("returns", 0)),
+    )
+    profile = ProfileData(runs=int(payload["runs"]), total=counters)
+    profile.node_weights = {
+        str(name): float(w) for name, w in payload["node_weights"].items()
+    }
+    profile.arc_weights = {
+        int(site): float(w) for site, w in payload["arc_weights"].items()
+    }
+    return profile

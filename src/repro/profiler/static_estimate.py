@@ -1,0 +1,94 @@
+"""Structure-analysis weight estimation (no profiling).
+
+The paper (§2.2): "The node weights and arc weights may be determined
+either by program structure analysis or by profiling", and §4.2 leaves
+open "whether or not inline expansion decisions based on program
+structure analysis without profile information are sufficient". This
+module implements the structure-analysis alternative so the ablation
+harness can answer that question on the benchmark suite:
+
+- every call site is weighted by its loop-nesting depth
+  (``LOOP_FACTOR ** depth``), the classic static heuristic,
+- weights propagate through the acyclic condensation of the direct
+  call graph from ``main`` outward; members of a recursive clique share
+  their component's incoming weight once (no fixpoint blow-up).
+
+The result is an ordinary :class:`~repro.profiler.profile.ProfileData`,
+so the whole inline pipeline runs unchanged on estimated weights.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import natural_loops
+from repro.callgraph.cycles import find_sccs
+from repro.il.instructions import Opcode
+from repro.il.module import ILModule
+from repro.inliner.linearize import _direct_call_graph
+from repro.profiler.profile import ProfileData
+from repro.vm.counters import Counters
+
+LOOP_FACTOR = 10.0
+
+
+def _site_depths(module: ILModule) -> dict[int, tuple[str, str | None, int]]:
+    """site id -> (caller, callee-or-None, loop-nesting depth)."""
+    result: dict[int, tuple[str, str | None, int]] = {}
+    for name, function in module.functions.items():
+        cfg = build_cfg(function)
+        loops = natural_loops(cfg)
+        depth_of_block: dict[int, int] = {}
+        for loop in loops:
+            for block_index in loop.body:
+                depth_of_block[block_index] = depth_of_block.get(block_index, 0) + 1
+        for block in cfg.blocks:
+            depth = depth_of_block.get(block.index, 0)
+            for instr in block.instructions(function):
+                if instr.op is Opcode.CALL:
+                    callee = instr.name if instr.name in module.functions else None
+                    result[instr.site] = (name, callee, depth)
+                elif instr.op is Opcode.ICALL:
+                    result[instr.site] = (name, None, depth)
+    return result
+
+
+def estimate_profile(module: ILModule) -> ProfileData:
+    """Estimate node and arc weights by structure analysis alone."""
+    sites = _site_depths(module)
+    graph = _direct_call_graph(module)
+    # find_sccs emits callees first; reverse for caller-first traversal.
+    components = list(reversed(find_sccs(graph)))
+
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(components):
+        for name in component:
+            component_of[name] = index
+
+    node_weights: dict[str, float] = {name: 0.0 for name in module.functions}
+    if module.entry in node_weights:
+        node_weights[module.entry] = 1.0
+    arc_weights: dict[int, float] = {}
+
+    sites_by_caller: dict[str, list[int]] = {}
+    for site, (caller, _, _) in sites.items():
+        sites_by_caller.setdefault(caller, []).append(site)
+
+    for index, component in enumerate(components):
+        members = [name for name in component if name in module.functions]
+        for caller in members:
+            caller_weight = node_weights.get(caller, 0.0)
+            for site in sites_by_caller.get(caller, ()):
+                _, callee, depth = sites[site]
+                weight = caller_weight * (LOOP_FACTOR ** depth)
+                arc_weights[site] = weight
+                if callee is None:
+                    continue
+                # Within a recursive clique, do not re-feed the cycle.
+                if component_of.get(callee) == index:
+                    continue
+                node_weights[callee] = node_weights.get(callee, 0.0) + weight
+
+    profile = ProfileData(runs=1, total=Counters())
+    profile.node_weights = node_weights
+    profile.arc_weights = arc_weights
+    return profile

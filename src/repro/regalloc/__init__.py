@@ -1,0 +1,29 @@
+"""Register allocation over the IL.
+
+The paper's first motivation (§1) is that function invocation disrupts
+register allocation, and §1.1 surveys hardware (register windows, stack
+buffers) and software (inter-procedural allocation, Wall's link-time
+allocation) remedies that inline expansion makes unnecessary. This
+package provides the allocator those arguments are about:
+
+- interference construction from instruction-level liveness,
+- a Chaitin-style graph-coloring allocator with spilling,
+- a pressure/spill metric used by the register-pressure experiment:
+  after inlining, the *calls* disappear but the merged live ranges
+  compete for the same K registers — the classic trade the paper's
+  evaluation implies.
+"""
+
+from repro.regalloc.interference import InterferenceGraph, build_interference
+from repro.regalloc.coloring import AllocationResult, allocate_function, allocate_module
+from repro.regalloc.pressure import PressureReport, pressure_experiment
+
+__all__ = [
+    "AllocationResult",
+    "InterferenceGraph",
+    "PressureReport",
+    "allocate_function",
+    "allocate_module",
+    "build_interference",
+    "pressure_experiment",
+]

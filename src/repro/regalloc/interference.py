@@ -1,0 +1,76 @@
+"""Interference graphs from instruction-level liveness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.liveness import liveness
+from repro.il.function import ILFunction
+from repro.il.instructions import Opcode
+
+
+@dataclass
+class InterferenceGraph:
+    """Registers as nodes; an edge means simultaneous liveness."""
+
+    nodes: set[str] = field(default_factory=set)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: Static use/def counts, the spill-cost numerator.
+    use_counts: dict[str, int] = field(default_factory=dict)
+    #: Register pairs joined by a MOV (coalescing candidates).
+    move_pairs: set[tuple[str, str]] = field(default_factory=set)
+
+    def add_node(self, reg: str) -> None:
+        self.nodes.add(reg)
+        self.edges.setdefault(reg, set())
+
+    def add_edge(self, a: str, b: str) -> None:
+        if a == b:
+            return
+        self.add_node(a)
+        self.add_node(b)
+        self.edges[a].add(b)
+        self.edges[b].add(a)
+
+    def degree(self, reg: str) -> int:
+        return len(self.edges.get(reg, ()))
+
+    def neighbors(self, reg: str) -> set[str]:
+        return self.edges.get(reg, set())
+
+
+def build_interference(function: ILFunction) -> InterferenceGraph:
+    """Backward per-block walk seeded with block live-out sets.
+
+    Standard rule: at a definition, the defined register interferes
+    with everything live after the instruction (minus the source of a
+    MOV, enabling coalescing).
+    """
+    graph = InterferenceGraph()
+    result = liveness(function)
+    cfg = result.cfg
+
+    for reg in function.params:
+        graph.add_node(reg)
+
+    for block in cfg.blocks:
+        live = set(result.live_out[block.index])
+        for instr in reversed(block.instructions(function)):
+            dst = instr.dst
+            sources = instr.source_regs()
+            if dst is not None:
+                graph.add_node(dst)
+                graph.use_counts[dst] = graph.use_counts.get(dst, 0) + 1
+                excluded = None
+                if instr.op is Opcode.MOV and isinstance(instr.a, str):
+                    excluded = instr.a
+                    graph.move_pairs.add(tuple(sorted((dst, instr.a))))
+                for other in live:
+                    if other != dst and other != excluded:
+                        graph.add_edge(dst, other)
+                live.discard(dst)
+            for reg in sources:
+                graph.add_node(reg)
+                graph.use_counts[reg] = graph.use_counts.get(reg, 0) + 1
+                live.add(reg)
+    return graph

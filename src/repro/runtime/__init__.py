@@ -1,0 +1,31 @@
+"""The C-subset runtime: virtual headers and a libc.
+
+- ``<sys.h>`` declares the VM's external builtins (the paper's system
+  calls — bodies unavailable, never inlinable, routed to ``$$$``).
+- ``<string.h>``, ``<ctype.h>``, ``<stdlib.h>`` declare the libc.
+- :data:`LIBC_SOURCE` implements the libc *in the C subset itself*, so
+  by default library calls are user functions with visible bodies that
+  participate fully in profiling and inline expansion. Linking without
+  it turns every libc call into an external, reproducing the paper's
+  "unavailable function body" situation for library archives.
+"""
+
+from repro.runtime.libc import (
+    BIO_HEADER,
+    CTYPE_HEADER,
+    LIBC_SOURCE,
+    STDLIB_HEADER,
+    STRING_HEADER,
+    SYS_HEADER,
+    standard_headers,
+)
+
+__all__ = [
+    "BIO_HEADER",
+    "CTYPE_HEADER",
+    "LIBC_SOURCE",
+    "STDLIB_HEADER",
+    "STRING_HEADER",
+    "SYS_HEADER",
+    "standard_headers",
+]

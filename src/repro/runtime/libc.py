@@ -1,0 +1,428 @@
+"""Virtual headers and the C-subset libc source."""
+
+from __future__ import annotations
+
+from repro.vm.builtins import BUILTIN_PROTOTYPES
+
+SYS_HEADER = f"""\
+#ifndef _SYS_H
+#define _SYS_H
+#define EOF (-1)
+#define NULL 0
+#define O_READ 0
+#define O_WRITE 1
+{BUILTIN_PROTOTYPES}
+#endif
+"""
+
+STRING_HEADER = """\
+#ifndef _STRING_H
+#define _STRING_H
+int strlen(char *s);
+int strcmp(char *a, char *b);
+int strncmp(char *a, char *b, int n);
+char *strcpy(char *dst, char *src);
+char *strncpy(char *dst, char *src, int n);
+char *strcat(char *dst, char *src);
+char *strchr(char *s, int c);
+char *strstr(char *haystack, char *needle);
+char *memcpy(char *dst, char *src, int n);
+char *memset(char *dst, int value, int n);
+int memcmp(char *a, char *b, int n);
+#endif
+"""
+
+CTYPE_HEADER = """\
+#ifndef _CTYPE_H
+#define _CTYPE_H
+int isdigit(int c);
+int isalpha(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int toupper(int c);
+int tolower(int c);
+#endif
+"""
+
+BIO_HEADER = """\
+#ifndef _BIO_H
+#define _BIO_H
+int bgetchar(void);
+int bfgetc(int fd);
+void bputchar(int c);
+void bputs(char *s);
+void bput_int(int value);
+void bflush(void);
+#endif
+"""
+
+STDLIB_HEADER = """\
+#ifndef _STDLIB_H
+#define _STDLIB_H
+int atoi(char *s);
+int abs(int x);
+void itoa(int value, char *buffer);
+int rand(void);
+void srand(int seed);
+void sort(char *base, int count, int width, int (*cmp)(char *a, char *b));
+#endif
+"""
+
+#: The libc, written in the C subset. Linked by default so these
+#: functions have visible bodies and participate in inline expansion.
+LIBC_SOURCE = """\
+#include <sys.h>
+
+int strlen(char *s)
+{
+    int n = 0;
+    while (s[n])
+        n++;
+    return n;
+}
+
+int strcmp(char *a, char *b)
+{
+    int i = 0;
+    while (a[i] && a[i] == b[i])
+        i++;
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n)
+{
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i])
+        i++;
+    if (i == n)
+        return 0;
+    return a[i] - b[i];
+}
+
+char *strcpy(char *dst, char *src)
+{
+    int i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, int n)
+{
+    int i = 0;
+    while (i < n && src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    while (i < n) {
+        dst[i] = 0;
+        i++;
+    }
+    return dst;
+}
+
+char *strcat(char *dst, char *src)
+{
+    int n = strlen(dst);
+    strcpy(dst + n, src);
+    return dst;
+}
+
+char *strchr(char *s, int c)
+{
+    int i = 0;
+    while (s[i]) {
+        if (s[i] == c)
+            return s + i;
+        i++;
+    }
+    if (c == 0)
+        return s + i;
+    return NULL;
+}
+
+char *strstr(char *haystack, char *needle)
+{
+    int n = strlen(needle);
+    int i = 0;
+    if (n == 0)
+        return haystack;
+    while (haystack[i]) {
+        if (strncmp(haystack + i, needle, n) == 0)
+            return haystack + i;
+        i++;
+    }
+    return NULL;
+}
+
+char *memcpy(char *dst, char *src, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        dst[i] = src[i];
+    return dst;
+}
+
+char *memset(char *dst, int value, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        dst[i] = value;
+    return dst;
+}
+
+int memcmp(char *a, char *b, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i])
+            return a[i] - b[i];
+    }
+    return 0;
+}
+
+int isdigit(int c)
+{
+    return c >= '0' && c <= '9';
+}
+
+int isalpha(int c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int isalnum(int c)
+{
+    return isalpha(c) || isdigit(c);
+}
+
+int isspace(int c)
+{
+    return c == ' ' || c == '\\t' || c == '\\n' || c == '\\r' ||
+           c == '\\f' || c == '\\v';
+}
+
+int isupper(int c)
+{
+    return c >= 'A' && c <= 'Z';
+}
+
+int islower(int c)
+{
+    return c >= 'a' && c <= 'z';
+}
+
+int toupper(int c)
+{
+    if (islower(c))
+        return c - 'a' + 'A';
+    return c;
+}
+
+int tolower(int c)
+{
+    if (isupper(c))
+        return c - 'A' + 'a';
+    return c;
+}
+
+int atoi(char *s)
+{
+    int value = 0;
+    int sign = 1;
+    int i = 0;
+    while (isspace(s[i]))
+        i++;
+    if (s[i] == '-') {
+        sign = -1;
+        i++;
+    } else if (s[i] == '+') {
+        i++;
+    }
+    while (isdigit(s[i])) {
+        value = value * 10 + (s[i] - '0');
+        i++;
+    }
+    return sign * value;
+}
+
+int abs(int x)
+{
+    if (x < 0)
+        return -x;
+    return x;
+}
+
+void itoa(int value, char *buffer)
+{
+    /* Work in negative values throughout: -INT_MIN overflows, but
+       every int is representable negated downward. C's division
+       truncates toward zero and % follows the dividend's sign, so
+       value % 10 is in [-9, 0] here. */
+    char digits[16];
+    int n = 0;
+    int i = 0;
+    if (value < 0) {
+        buffer[i] = '-';
+        i++;
+    } else {
+        value = -value;
+    }
+    if (value == 0) {
+        digits[n] = '0';
+        n++;
+    }
+    while (value < 0) {
+        digits[n] = '0' - value % 10;
+        n++;
+        value = value / 10;
+    }
+    while (n > 0) {
+        n--;
+        buffer[i] = digits[n];
+        i++;
+    }
+    buffer[i] = 0;
+}
+
+/* ------------------------------------------------------------------
+   Buffered standard I/O. Real stdio's getc/putc are macros over a
+   buffer, issuing one read/write system call per block; these are the
+   same thing as ordinary (inlinable) functions. Only the block refill
+   and the final flush reach the external world. */
+
+#define _BIO_SIZE 128
+#define _BIO_FDS 4
+
+char _bin_data[_BIO_SIZE];
+int _bin_pos = 0;
+int _bin_len = 0;
+
+int bgetchar(void)
+{
+    if (_bin_pos >= _bin_len) {
+        _bin_len = read_stdin(_bin_data, _BIO_SIZE);
+        _bin_pos = 0;
+        if (_bin_len <= 0)
+            return EOF;
+    }
+    return _bin_data[_bin_pos++] & 255;
+}
+
+int _bfd_fd[_BIO_FDS] = { -1, -1, -1, -1 };
+char _bfd_data[_BIO_FDS][_BIO_SIZE];
+int _bfd_pos[_BIO_FDS];
+int _bfd_len[_BIO_FDS];
+
+int _bfd_slot(int fd)
+{
+    int i;
+    for (i = 0; i < _BIO_FDS; i++) {
+        if (_bfd_fd[i] == fd)
+            return i;
+    }
+    for (i = 0; i < _BIO_FDS; i++) {
+        if (_bfd_fd[i] == -1) {
+            _bfd_fd[i] = fd;
+            _bfd_pos[i] = 0;
+            _bfd_len[i] = 0;
+            return i;
+        }
+    }
+    return -1;
+}
+
+int bfgetc(int fd)
+{
+    int slot = _bfd_slot(fd);
+    if (slot < 0)
+        return fgetc(fd);
+    if (_bfd_pos[slot] >= _bfd_len[slot]) {
+        _bfd_len[slot] = read_block(fd, _bfd_data[slot], _BIO_SIZE);
+        _bfd_pos[slot] = 0;
+        if (_bfd_len[slot] <= 0)
+            return EOF;
+    }
+    return _bfd_data[slot][_bfd_pos[slot]++] & 255;
+}
+
+char _bout_data[_BIO_SIZE];
+int _bout_len = 0;
+
+void bflush(void)
+{
+    if (_bout_len > 0) {
+        write_stdout(_bout_data, _bout_len);
+        _bout_len = 0;
+    }
+}
+
+void bputchar(int c)
+{
+    if (_bout_len >= _BIO_SIZE)
+        bflush();
+    _bout_data[_bout_len++] = c;
+}
+
+void bputs(char *s)
+{
+    int i = 0;
+    while (s[i]) {
+        bputchar(s[i]);
+        i++;
+    }
+}
+
+void bput_int(int value)
+{
+    char digits[16];
+    itoa(value, digits);
+    bputs(digits);
+}
+
+int _rand_state = 12345;
+
+int rand(void)
+{
+    _rand_state = _rand_state * 1103515245 + 12345;
+    return (_rand_state >> 16) & 32767;
+}
+
+void srand(int seed)
+{
+    _rand_state = seed;
+}
+
+void sort(char *base, int count, int width, int (*cmp)(char *a, char *b))
+{
+    /* Insertion sort through a comparison function pointer: every
+       element comparison is a call through ### in the call graph. */
+    char tmp[256];
+    int i;
+    for (i = 1; i < count; i++) {
+        int j = i;
+        memcpy(tmp, base + i * width, width);
+        while (j > 0 && cmp(base + (j - 1) * width, tmp) > 0) {
+            memcpy(base + j * width, base + (j - 1) * width, width);
+            j--;
+        }
+        memcpy(base + j * width, tmp, width);
+    }
+}
+"""
+
+
+def standard_headers() -> dict[str, str]:
+    """The virtual header set made available to every compilation."""
+    return {
+        "sys.h": SYS_HEADER,
+        "string.h": STRING_HEADER,
+        "ctype.h": CTYPE_HEADER,
+        "stdlib.h": STDLIB_HEADER,
+        "bio.h": BIO_HEADER,
+    }

@@ -1,0 +1,14 @@
+"""IL virtual machine.
+
+Executes an :class:`~repro.il.module.ILModule` with a byte-addressable
+memory, an explicit control stack, and a virtual OS providing the
+external ("system call") functions. While running it counts dynamic
+intermediate instructions, control transfers, and per-call-site
+invocation counts — the raw material of the paper's profiles.
+"""
+
+from repro.vm.counters import Counters
+from repro.vm.machine import Machine, RunResult
+from repro.vm.os import VirtualOS
+
+__all__ = ["Counters", "Machine", "RunResult", "VirtualOS"]

@@ -1,0 +1,207 @@
+"""External (builtin) functions provided by the VM.
+
+These are the bodies the compiler never sees — the reproduction's
+equivalent of UNIX system calls and unavailable library archives. Every
+call to one of them is routed through the ``$$$`` node of the weighted
+call graph and can never be inline expanded (§2.5, §3.2).
+
+Each builtin receives the running :class:`~repro.vm.machine.Machine`
+and already-evaluated integer arguments, and returns an int (or None
+for void).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import VMTrap
+
+BuiltinImpl = Callable[..., int | None]
+
+#: name -> (parameter count, implementation)
+BUILTINS: dict[str, tuple[int, BuiltinImpl]] = {}
+
+
+def _builtin(name: str, nargs: int):
+    def register(fn: BuiltinImpl) -> BuiltinImpl:
+        BUILTINS[name] = (nargs, fn)
+        return fn
+
+    return register
+
+
+#: C prototypes for every builtin, used to generate the <sys.h> virtual
+#: header that workload programs include.
+BUILTIN_PROTOTYPES = """\
+int getchar(void);
+int putchar(int c);
+int eputc(int c);
+int read_stdin(char *buf, int max);
+int read_block(int fd, char *buf, int max);
+int write_stdout(char *buf, int n);
+int write_block(int fd, char *buf, int n);
+int puts(char *s);
+int print_int(int value);
+int print_str(char *s);
+int open(char *path, int mode);
+int close(int fd);
+int fgetc(int fd);
+int fputc(int c, int fd);
+int fputs(char *s, int fd);
+int fsize(int fd);
+int rewindf(int fd);
+char *malloc(int n);
+int free(char *p);
+void exit(int code);
+int abort(void);
+"""
+
+
+class ExitSignal(Exception):
+    """Raised by exit() to unwind the interpreter."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(code)
+
+
+@_builtin("getchar", 0)
+def _getchar(machine) -> int:
+    return machine.os.getchar()
+
+
+@_builtin("putchar", 1)
+def _putchar(machine, char: int) -> int:
+    return machine.os.putchar(char)
+
+
+@_builtin("eputc", 1)
+def _eputc(machine, char: int) -> int:
+    return machine.os.put_stderr(char)
+
+
+@_builtin("read_stdin", 2)
+def _read_stdin(machine, buffer: int, maximum: int) -> int:
+    """Block read from stdin: the syscall behind buffered stdio."""
+    count = 0
+    while count < maximum:
+        char = machine.os.getchar()
+        if char < 0:
+            break
+        machine.write_bytes(buffer + count, bytes((char,)))
+        count += 1
+    return count
+
+
+@_builtin("read_block", 3)
+def _read_block(machine, fd: int, buffer: int, maximum: int) -> int:
+    count = 0
+    while count < maximum:
+        char = machine.os.fgetc(fd)
+        if char < 0:
+            break
+        machine.write_bytes(buffer + count, bytes((char,)))
+        count += 1
+    return count
+
+
+@_builtin("write_stdout", 2)
+def _write_stdout(machine, buffer: int, length: int) -> int:
+    for offset in range(max(length, 0)):
+        machine.os.putchar(machine.read_byte(buffer + offset))
+    return length
+
+
+@_builtin("write_block", 3)
+def _write_block(machine, fd: int, buffer: int, length: int) -> int:
+    for offset in range(max(length, 0)):
+        machine.os.fputc(machine.read_byte(buffer + offset), fd)
+    return length
+
+
+@_builtin("puts", 1)
+def _puts(machine, address: int) -> int:
+    for byte in machine.read_cstring_bytes(address):
+        machine.os.putchar(byte)
+    machine.os.putchar(10)
+    return 0
+
+
+@_builtin("print_int", 1)
+def _print_int(machine, value: int) -> int:
+    for char in str(value):
+        machine.os.putchar(ord(char))
+    return value
+
+
+@_builtin("print_str", 1)
+def _print_str(machine, address: int) -> int:
+    count = 0
+    for byte in machine.read_cstring_bytes(address):
+        machine.os.putchar(byte)
+        count += 1
+    return count
+
+
+@_builtin("open", 2)
+def _open(machine, path_address: int, mode: int) -> int:
+    path = machine.read_cstring_bytes(path_address).decode("latin-1")
+    return machine.os.open(path, mode)
+
+
+@_builtin("close", 1)
+def _close(machine, fd: int) -> int:
+    return machine.os.close(fd)
+
+
+@_builtin("fgetc", 1)
+def _fgetc(machine, fd: int) -> int:
+    return machine.os.fgetc(fd)
+
+
+@_builtin("fputc", 2)
+def _fputc(machine, char: int, fd: int) -> int:
+    return machine.os.fputc(char, fd)
+
+
+@_builtin("fputs", 2)
+def _fputs(machine, address: int, fd: int) -> int:
+    count = 0
+    for byte in machine.read_cstring_bytes(address):
+        machine.os.fputc(byte, fd)
+        count += 1
+    return count
+
+
+@_builtin("fsize", 1)
+def _fsize(machine, fd: int) -> int:
+    return machine.os.fsize(fd)
+
+
+@_builtin("rewindf", 1)
+def _rewindf(machine, fd: int) -> int:
+    return machine.os.rewind(fd)
+
+
+@_builtin("malloc", 1)
+def _malloc(machine, size: int) -> int:
+    if size < 0:
+        raise VMTrap(f"malloc of negative size {size}")
+    return machine.heap_alloc(size)
+
+
+@_builtin("free", 1)
+def _free(machine, address: int) -> int:
+    # Bump allocator: free is a deterministic no-op, as in many early
+    # UNIX allocators. Memory pressure is not part of the experiments.
+    return 0
+
+
+@_builtin("exit", 1)
+def _exit(machine, code: int) -> int:
+    raise ExitSignal(code)
+
+
+@_builtin("abort", 0)
+def _abort(machine) -> int:
+    raise VMTrap("abort() called")

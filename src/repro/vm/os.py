@@ -1,0 +1,127 @@
+"""The virtual operating system behind the VM's external functions.
+
+The paper's benchmarks call UNIX system calls and library routines whose
+bodies the compiler cannot see; those are exactly the calls routed to
+the ``$$$`` node. Here the same role is played by :class:`VirtualOS`: an
+in-memory stdin/stdout, a flat in-memory filesystem, and a bump-pointer
+heap service, all deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VMTrap
+
+O_READ = 0
+O_WRITE = 1
+EOF = -1
+
+
+@dataclass
+class _OpenFile:
+    path: str
+    mode: int
+    data: bytearray
+    pos: int = 0
+
+
+@dataclass
+class VirtualOS:
+    """Deterministic, in-memory OS state for one run."""
+
+    stdin: bytes = b""
+    files: dict[str, bytes] = field(default_factory=dict)
+    argv: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.stdout = bytearray()
+        self.stderr = bytearray()
+        self.written_files: dict[str, bytes] = {}
+        self._stdin_pos = 0
+        self._fds: dict[int, _OpenFile] = {}
+        self._next_fd = 3  # 0/1/2 reserved for std streams
+        self.exit_code: int | None = None
+
+    # ------------------------------------------------------------------
+    # standard streams
+
+    def getchar(self) -> int:
+        if self._stdin_pos >= len(self.stdin):
+            return EOF
+        byte = self.stdin[self._stdin_pos]
+        self._stdin_pos += 1
+        return byte
+
+    def putchar(self, char: int) -> int:
+        self.stdout.append(char & 0xFF)
+        return char & 0xFF
+
+    def put_stderr(self, char: int) -> int:
+        self.stderr.append(char & 0xFF)
+        return char & 0xFF
+
+    # ------------------------------------------------------------------
+    # files
+
+    def open(self, path: str, mode: int) -> int:
+        if mode == O_READ:
+            if path not in self.files:
+                return EOF
+            handle = _OpenFile(path, mode, bytearray(self.files[path]))
+        elif mode == O_WRITE:
+            handle = _OpenFile(path, mode, bytearray())
+        else:
+            raise VMTrap(f"open: bad mode {mode}")
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = handle
+        return fd
+
+    def close(self, fd: int) -> int:
+        handle = self._fds.pop(fd, None)
+        if handle is None:
+            return EOF
+        if handle.mode == O_WRITE:
+            self.written_files[handle.path] = bytes(handle.data)
+        return 0
+
+    def _handle(self, fd: int) -> _OpenFile:
+        handle = self._fds.get(fd)
+        if handle is None:
+            raise VMTrap(f"bad file descriptor {fd}")
+        return handle
+
+    def fgetc(self, fd: int) -> int:
+        handle = self._handle(fd)
+        if handle.pos >= len(handle.data):
+            return EOF
+        byte = handle.data[handle.pos]
+        handle.pos += 1
+        return byte
+
+    def fputc(self, char: int, fd: int) -> int:
+        if fd == 1:
+            return self.putchar(char)
+        if fd == 2:
+            return self.put_stderr(char)
+        handle = self._handle(fd)
+        if handle.mode != O_WRITE:
+            raise VMTrap(f"fputc on read-only fd {fd}")
+        handle.data.append(char & 0xFF)
+        return char & 0xFF
+
+    def fsize(self, fd: int) -> int:
+        return len(self._handle(fd).data)
+
+    def rewind(self, fd: int) -> int:
+        self._handle(fd).pos = 0
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def stdout_text(self) -> str:
+        return self.stdout.decode("latin-1")
+
+    def stderr_text(self) -> str:
+        return self.stderr.decode("latin-1")

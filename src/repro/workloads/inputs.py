@@ -1,0 +1,89 @@
+"""Deterministic input generators shared by the benchmark programs.
+
+All generators take an explicit seed and a scale, so profiles are
+reproducible run to run. ``scale`` follows the suite convention:
+``"small"`` for unit tests and pytest benchmarks, ``"full"`` for the
+paper-style experiment harness.
+"""
+
+from __future__ import annotations
+
+import random
+
+_WORDS = (
+    "the quick brown fox jumps over lazy dog while compilers expand "
+    "inline function calls profile weighted graphs reduce overhead "
+    "register window stack buffer cache pipeline branch memory access "
+    "structured programming technique subtask coordinate invoke"
+).split()
+
+_C_IDENTIFIERS = (
+    "count total index buffer length value result flag state table "
+    "cursor offset width height node list head tail next prev size"
+).split()
+
+
+def word_text(seed: int, words: int, line_words: int = 8) -> bytes:
+    """Plain English-ish text: ``words`` words, wrapped lines."""
+    rng = random.Random(seed)
+    out = []
+    line: list[str] = []
+    for _ in range(words):
+        line.append(rng.choice(_WORDS))
+        if len(line) >= line_words:
+            out.append(" ".join(line))
+            line = []
+    if line:
+        out.append(" ".join(line))
+    return ("\n".join(out) + "\n").encode()
+
+
+def c_source_text(seed: int, functions: int) -> bytes:
+    """Generated C-like source files (the cccp/wc/compress inputs)."""
+    rng = random.Random(seed)
+    lines = [
+        "/* generated test input */",
+        "#define LIMIT 100",
+        "#define STEP 3",
+        "#define TWICE(x) ((x) + (x))",
+    ]
+    for index in range(functions):
+        name = f"fn_{index}"
+        var_a = rng.choice(_C_IDENTIFIERS)
+        var_b = rng.choice(_C_IDENTIFIERS)
+        lines.append(f"int {name}(int {var_a})")
+        lines.append("{")
+        lines.append(f"    int {var_b} = {rng.randrange(100)};")
+        body = rng.randrange(3)
+        if body == 0:
+            lines.append(f"    while ({var_a} > 0) {{ {var_b} += STEP; {var_a}--; }}")
+        elif body == 1:
+            lines.append(f"    if ({var_a} > LIMIT) {var_b} = TWICE({var_b});")
+        else:
+            lines.append(f"    {var_b} = {var_a} * STEP + LIMIT;")
+        lines.append(f"    return {var_b};")
+        lines.append("}")
+        lines.append("")
+    return ("\n".join(lines)).encode()
+
+
+def binary_blob(seed: int, size: int) -> bytes:
+    """Pseudo-random bytes (tar/cmp payloads)."""
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(size))
+
+
+def skewed_text(seed: int, size: int, alphabet: bytes = b"abcdefgh ") -> bytes:
+    """Compressible text with a skewed symbol distribution (compress)."""
+    rng = random.Random(seed)
+    weights = [2 ** (len(alphabet) - i) for i in range(len(alphabet))]
+    symbols = rng.choices(alphabet, weights=weights, k=size)
+    data = bytearray(symbols)
+    for index in range(0, size - 8, 97):  # periodic repeats help LZW
+        data[index : index + 4] = b"abab"
+    return bytes(data)
+
+
+def number_list(seed: int, count: int, bound: int = 10000) -> bytes:
+    rng = random.Random(seed)
+    return ("\n".join(str(rng.randrange(bound)) for _ in range(count)) + "\n").encode()

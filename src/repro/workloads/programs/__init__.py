@@ -1,0 +1,6 @@
+"""The twelve benchmark programs, one module each.
+
+Every module exposes ``SOURCE`` (C-subset text), ``INPUT_DESCRIPTION``
+(Table 1's description column), and ``make_runs(scale)`` producing the
+profiling inputs.
+"""

@@ -1,0 +1,145 @@
+"""cmp: byte-by-byte file comparison.
+
+Each loop iteration makes two user-helper calls and two external fgetc
+calls, so roughly half the dynamic calls are inlinable — matching the
+paper's ~49% call decrease for cmp.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.profile import RunSpec
+from repro.workloads.inputs import binary_blob, word_text
+
+INPUT_DESCRIPTION = "similar/disimilar text files"
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+
+int file_a;
+int file_b;
+
+int next_a(void)
+{
+    return fgetc(file_a);
+}
+
+int next_b(void)
+{
+    return fgetc(file_b);
+}
+
+void report_position(int position, int line)
+{
+    print_str("differ: byte ");
+    print_int(position);
+    print_str(", line ");
+    print_int(line);
+    putchar('\\n');
+}
+
+void report_eof(char *name)
+{
+    print_str("EOF on ");
+    print_str(name);
+    putchar('\\n');
+}
+
+int compare(int verbose)
+{
+    int position = 1;
+    int line = 1;
+    int differences = 0;
+    int ca = next_a();
+    int cb = next_b();
+    while (ca != EOF && cb != EOF) {
+        if (ca != cb) {
+            differences++;
+            if (verbose) {
+                print_int(position);
+                putchar(' ');
+                print_int(ca & 255);
+                putchar(' ');
+                print_int(cb & 255);
+                putchar('\\n');
+            } else {
+                report_position(position, line);
+                return differences;
+            }
+        }
+        if (ca == '\\n')
+            line++;
+        position++;
+        ca = next_a();
+        cb = next_b();
+    }
+    if (ca != cb) {
+        if (ca == EOF)
+            report_eof("first file");
+        else
+            report_eof("second file");
+        differences++;
+    }
+    return differences;
+}
+
+int main(int argc, char **argv)
+{
+    int verbose = 0;
+    int arg = 1;
+    int differences;
+    if (arg < argc && strcmp(argv[arg], "-l") == 0) {
+        verbose = 1;
+        arg++;
+    }
+    if (arg + 1 >= argc) {
+        print_str("usage: cmp [-l] file1 file2\\n");
+        return 0;
+    }
+    file_a = open(argv[arg], O_READ);
+    file_b = open(argv[arg + 1], O_READ);
+    if (file_a == EOF || file_b == EOF) {
+        print_str("cmp: cannot open input\\n");
+        return 0;
+    }
+    differences = compare(verbose);
+    if (differences == 0)
+        print_str("files identical\\n");
+    close(file_a);
+    close(file_b);
+    return 0;
+}
+"""
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    count = 16 if scale == "full" else 4
+    size = 1600 if scale == "full" else 400
+    runs = []
+    for seed in range(count):
+        kind = seed % 4
+        if kind == 0:  # identical text files
+            a = b = word_text(seed, size // 6)
+        elif kind == 1:  # one flipped byte midway
+            a = word_text(seed, size // 6)
+            body = bytearray(a)
+            body[len(body) // 2] ^= 0x20
+            b = bytes(body)
+        elif kind == 2:  # sparse scattered differences, listed with -l
+            a = binary_blob(seed, size)
+            body = bytearray(a)
+            for index in range(7, len(body), 37):
+                body[index] ^= 0x01
+            b = bytes(body)
+        else:  # prefix relationship (EOF case)
+            a = word_text(seed, size // 6)
+            b = a[: len(a) * 2 // 3]
+        argv = ["-l", "a.dat", "b.dat"] if kind == 2 else ["a.dat", "b.dat"]
+        runs.append(
+            RunSpec(
+                files={"a.dat": a, "b.dat": b},
+                argv=argv,
+                label=f"cmp-{seed}",
+            )
+        )
+    return runs

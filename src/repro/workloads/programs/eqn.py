@@ -1,0 +1,255 @@
+"""eqn: equation formatter (troff preprocessor).
+
+Scans documents for ``.EQ``/``.EN`` blocks and typesets the equations
+inside with a recursive-descent parser (sup/sub scripts, over
+fractions, sqrt, braces), computing box widths/heights. Token and box
+helpers run several times per input character — the paper reports an
+81% call decrease and the second-largest code increase.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.profiler.profile import RunSpec
+from repro.workloads.inputs import word_text
+
+INPUT_DESCRIPTION = "papers with .EQ options"
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+#include <ctype.h>
+#include <bio.h>
+
+#define MAXLINE 512
+#define MAXTOK 64
+
+char cur_line[MAXLINE];
+int cur_pos = 0;
+char token[MAXTOK];
+int token_kind = 0;   /* 0 none, 1 word, 2 punct */
+
+int width_total = 0;
+int height_max = 0;
+int boxes = 0;
+
+int read_line(char *buffer)
+{
+    int length = 0;
+    int c = bgetchar();
+    if (c == EOF)
+        return EOF;
+    while (c != EOF && c != '\\n') {
+        if (length < MAXLINE - 1) {
+            buffer[length] = c;
+            length++;
+        }
+        c = bgetchar();
+    }
+    buffer[length] = 0;
+    return length;
+}
+
+void next_token(void)
+{
+    int n = 0;
+    while (cur_line[cur_pos] == ' ' || cur_line[cur_pos] == '\\t')
+        cur_pos++;
+    token_kind = 0;
+    token[0] = 0;
+    if (cur_line[cur_pos] == 0)
+        return;
+    if (isalnum(cur_line[cur_pos])) {
+        while (isalnum(cur_line[cur_pos]) && n < MAXTOK - 1) {
+            token[n] = cur_line[cur_pos];
+            n++;
+            cur_pos++;
+        }
+        token[n] = 0;
+        token_kind = 1;
+        return;
+    }
+    token[0] = cur_line[cur_pos];
+    token[1] = 0;
+    cur_pos++;
+    token_kind = 2;
+}
+
+int token_is(char *word)
+{
+    return token_kind != 0 && strcmp(token, word) == 0;
+}
+
+/* Box metrics are packed as width * 256 + height. */
+int box_make(int width, int height)
+{
+    boxes++;
+    return width * 256 + height;
+}
+
+int box_width(int box)
+{
+    return box / 256;
+}
+
+int box_height(int box)
+{
+    return box & 255;
+}
+
+int parse_expr(void);
+
+int parse_primary(void)
+{
+    if (token_is("{")) {
+        int inner;
+        next_token();
+        inner = parse_expr();
+        if (token_is("}"))
+            next_token();
+        return inner;
+    }
+    if (token_is("sqrt")) {
+        int inner;
+        next_token();
+        inner = parse_primary();
+        bputchar('s');
+        return box_make(box_width(inner) + 2, box_height(inner) + 1);
+    }
+    if (token_kind != 0) {
+        int width = strlen(token);
+        bputchar('w');
+        next_token();
+        return box_make(width, 1);
+    }
+    return box_make(0, 1);
+}
+
+int parse_script(void)
+{
+    int base = parse_primary();
+    for (;;) {
+        if (token_is("sup")) {
+            int script;
+            next_token();
+            script = parse_primary();
+            bputchar('^');
+            base = box_make(box_width(base) + box_width(script),
+                            box_height(base) + box_height(script));
+        } else if (token_is("sub")) {
+            int script;
+            next_token();
+            script = parse_primary();
+            bputchar('_');
+            base = box_make(box_width(base) + box_width(script),
+                            box_height(base) + box_height(script));
+        } else {
+            return base;
+        }
+    }
+}
+
+int parse_over(void)
+{
+    int left = parse_script();
+    while (token_is("over")) {
+        int right;
+        next_token();
+        right = parse_script();
+        bputchar('/');
+        left = box_make(
+            (box_width(left) > box_width(right) ? box_width(left)
+                                                : box_width(right)) + 1,
+            box_height(left) + box_height(right) + 1);
+    }
+    return left;
+}
+
+int parse_expr(void)
+{
+    int box = parse_over();
+    while (token_kind != 0 && !token_is("}")) {
+        int next = parse_over();
+        box = box_make(box_width(box) + box_width(next) + 1,
+                       box_height(box) > box_height(next)
+                           ? box_height(box)
+                           : box_height(next));
+    }
+    return box;
+}
+
+void typeset_line(char *line)
+{
+    int box;
+    strcpy(cur_line, line);
+    cur_pos = 0;
+    next_token();
+    box = parse_expr();
+    width_total += box_width(box);
+    if (box_height(box) > height_max)
+        height_max = box_height(box);
+    bputchar('\\n');
+}
+
+int main(void)
+{
+    char line[MAXLINE];
+    int in_equation = 0;
+    int equations = 0;
+    while (read_line(line) != EOF) {
+        if (strncmp(line, ".EQ", 3) == 0) {
+            in_equation = 1;
+            equations++;
+        } else if (strncmp(line, ".EN", 3) == 0) {
+            in_equation = 0;
+        } else if (in_equation) {
+            typeset_line(line);
+        }
+    }
+    bputs("equations ");
+    bput_int(equations);
+    bputs(" width ");
+    bput_int(width_total);
+    bputs(" height ");
+    bput_int(height_max);
+    bputs(" boxes ");
+    bput_int(boxes);
+    bputchar('\\n');
+    bflush();
+    return 0;
+}
+"""
+
+_EQUATION_PARTS = [
+    "x sup 2",
+    "a over b",
+    "sqrt { x + y }",
+    "alpha sub i",
+    "{ a + b } over { c + d }",
+    "x sup 2 sub j",
+    "sum over n",
+    "sqrt x over 2",
+    "p sup { q + r }",
+    "u + v over w",
+]
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    count = 20 if scale == "full" else 4
+    runs = []
+    rng = random.Random(11)
+    for seed in range(count):
+        rng.seed(seed)
+        paragraphs = 8 if scale == "full" else 3
+        lines: list[str] = []
+        for block in range(paragraphs):
+            lines.append(word_text(seed * 31 + block, 24).decode().strip())
+            lines.append(".EQ")
+            for _ in range(rng.randrange(2, 5)):
+                parts = rng.sample(_EQUATION_PARTS, rng.randrange(1, 4))
+                lines.append(" ".join(parts))
+            lines.append(".EN")
+        stdin = ("\n".join(lines) + "\n").encode()
+        runs.append(RunSpec(stdin=stdin, label=f"eqn-{seed}"))
+    return runs

@@ -1,0 +1,282 @@
+"""espresso: two-level logic minimization.
+
+A compact EXPAND/IRREDUNDANT loop over cubes encoded two bits per
+variable, driven by minterm on/off-sets in a PLA-like input format.
+Cube/minterm helpers run in tight nests and the final cover is sorted
+through a comparison *function pointer* (a ``###`` arc in the call
+graph). The paper reports a 70% call decrease for espresso.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.profiler.profile import RunSpec
+
+INPUT_DESCRIPTION = "original espresso benchmarks"
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+#include <stdlib.h>
+#include <ctype.h>
+#include <bio.h>
+
+#define MAXVARS 10
+#define MAXCUBES 200
+#define MAXTERMS 200
+#define MAXLINE 64
+
+int nvars = 0;
+int cubes[MAXCUBES];
+int ncubes = 0;
+int on_terms[MAXTERMS];
+int non = 0;
+int off_terms[MAXTERMS];
+int noff = 0;
+
+int cube_part(int cube, int var)
+{
+    return (cube >> (2 * var)) & 3;
+}
+
+int minterm_cube(int minterm)
+{
+    int cube = 0;
+    int var;
+    for (var = 0; var < nvars; var++) {
+        int bit = (minterm >> var) & 1;
+        cube = cube | ((bit ? 2 : 1) << (2 * var));
+    }
+    return cube;
+}
+
+int covers_minterm(int cube, int minterm)
+{
+    int var;
+    for (var = 0; var < nvars; var++) {
+        int need = ((minterm >> var) & 1) ? 2 : 1;
+        if ((cube_part(cube, var) & need) == 0)
+            return 0;
+    }
+    return 1;
+}
+
+int hits_offset(int cube)
+{
+    int i;
+    for (i = 0; i < noff; i++) {
+        if (covers_minterm(cube, off_terms[i]))
+            return 1;
+    }
+    return 0;
+}
+
+int literal_count(int cube)
+{
+    int count = 0;
+    int var;
+    for (var = 0; var < nvars; var++) {
+        if (cube_part(cube, var) != 3)
+            count++;
+    }
+    return count;
+}
+
+int expand_cube(int cube)
+{
+    int var;
+    for (var = 0; var < nvars; var++) {
+        int raised;
+        if (cube_part(cube, var) == 3)
+            continue;
+        raised = cube | (3 << (2 * var));
+        if (!hits_offset(raised))
+            cube = raised;
+    }
+    return cube;
+}
+
+int covered_elsewhere(int index, int minterm)
+{
+    int j;
+    for (j = 0; j < ncubes; j++) {
+        if (j != index && cubes[j] != 0 && covers_minterm(cubes[j], minterm))
+            return 1;
+    }
+    return 0;
+}
+
+int is_redundant(int index)
+{
+    int i;
+    for (i = 0; i < non; i++) {
+        if (covers_minterm(cubes[index], on_terms[i])
+            && !covered_elsewhere(index, on_terms[i]))
+            return 0;
+    }
+    return 1;
+}
+
+void irredundant(void)
+{
+    int i;
+    for (i = 0; i < ncubes; i++) {
+        if (cubes[i] != 0 && is_redundant(i))
+            cubes[i] = 0;
+    }
+}
+
+int compare_cubes(char *a, char *b)
+{
+    int ca = *(int *)a;
+    int cb = *(int *)b;
+    if (ca == 0)
+        return cb == 0 ? 0 : 1;
+    if (cb == 0)
+        return -1;
+    return literal_count(ca) - literal_count(cb);
+}
+
+void print_cube(int cube)
+{
+    int var;
+    for (var = nvars - 1; var >= 0; var--) {
+        int part = cube_part(cube, var);
+        if (part == 1)
+            bputchar('0');
+        else if (part == 2)
+            bputchar('1');
+        else
+            bputchar('-');
+    }
+    bputchar('\\n');
+}
+
+int parse_minterm(char *line)
+{
+    int value = 0;
+    int i;
+    for (i = 0; i < nvars; i++) {
+        value = value * 2;
+        if (line[i] == '1')
+            value = value + 1;
+    }
+    return value;
+}
+
+int read_line(int fd, char *buffer)
+{
+    int length = 0;
+    int c = bfgetc(fd);
+    if (c == EOF)
+        return EOF;
+    while (c != EOF && c != '\\n') {
+        if (length < MAXLINE - 1) {
+            buffer[length] = c;
+            length++;
+        }
+        c = bfgetc(fd);
+    }
+    buffer[length] = 0;
+    return length;
+}
+
+int main(int argc, char **argv)
+{
+    char line[MAXLINE];
+    int fd;
+    int i;
+    int live = 0;
+    int literals = 0;
+    if (argc < 2) {
+        print_str("usage: espresso pla-file\\n");
+        return 0;
+    }
+    fd = open(argv[1], O_READ);
+    if (fd == EOF) {
+        print_str("espresso: cannot open input\\n");
+        return 0;
+    }
+    while (read_line(fd, line) != EOF) {
+        if (line[0] == '.') {
+            if (line[1] == 'i')
+                nvars = atoi(line + 2);
+            continue;
+        }
+        if (line[0] != '0' && line[0] != '1')
+            continue;
+        {
+            int minterm = parse_minterm(line);
+            char kind = line[nvars + 1];
+            if (kind == '1' && non < MAXTERMS) {
+                on_terms[non] = minterm;
+                non++;
+            } else if (noff < MAXTERMS) {
+                off_terms[noff] = minterm;
+                noff++;
+            }
+        }
+    }
+    close(fd);
+
+    for (i = 0; i < non && ncubes < MAXCUBES; i++) {
+        cubes[ncubes] = minterm_cube(on_terms[i]);
+        ncubes++;
+    }
+    for (i = 0; i < ncubes; i++)
+        cubes[i] = expand_cube(cubes[i]);
+    irredundant();
+    sort((char *)cubes, ncubes, 4, compare_cubes);
+    for (i = 0; i < ncubes; i++) {
+        if (cubes[i] != 0) {
+            live++;
+            literals += literal_count(cubes[i]);
+            print_cube(cubes[i]);
+        }
+    }
+    bputs("cubes ");
+    bput_int(live);
+    bputs(" literals ");
+    bput_int(literals);
+    bputchar('\\n');
+    bflush();
+    return 0;
+}
+"""
+
+
+def _generate_pla(seed: int, nvars: int, terms: int) -> bytes:
+    """Sample a random boolean function's on/off minterms."""
+    rng = random.Random(seed)
+    # Random DNF over the variables defines the function.
+    clauses = []
+    for _ in range(rng.randrange(2, 5)):
+        mask = rng.randrange(1, 1 << nvars)
+        value = rng.randrange(1 << nvars) & mask
+        clauses.append((mask, value))
+
+    def evaluate(minterm: int) -> bool:
+        return any((minterm & mask) == value for mask, value in clauses)
+
+    space = 1 << nvars
+    chosen = rng.sample(range(space), min(terms, space))
+    lines = [f".i{nvars}"]
+    for minterm in chosen:
+        bits = format(minterm, f"0{nvars}b")
+        lines.append(f"{bits} {1 if evaluate(minterm) else 0}")
+    lines.append(".e")
+    return ("\n".join(lines) + "\n").encode()
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    count = 20 if scale == "full" else 4
+    runs = []
+    for seed in range(count):
+        nvars = 6 + seed % 3 if scale == "full" else 4 + seed % 2
+        terms = 90 if scale == "full" else 24
+        pla = _generate_pla(seed, nvars, terms)
+        runs.append(
+            RunSpec(files={"f.pla": pla}, argv=["f.pla"], label=f"espresso-{seed}")
+        )
+    return runs

@@ -1,0 +1,214 @@
+"""grep: regular-expression line matcher.
+
+Supports ``. * ^ $`` and ``[...]`` classes (the options the paper says
+its grep inputs exercised). The matcher is a cluster of tiny mutually
+recursive functions called several times per character, so nearly all
+dynamic calls are user calls — grep shows the paper's highest call
+decrease (99%).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.profiler.profile import RunSpec
+from repro.workloads.inputs import word_text
+
+INPUT_DESCRIPTION = 'exercised .*^$ options'
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+#include <bio.h>
+
+#define MAXLINE 512
+
+int match_here(char *pat, char *text);
+
+inline int pattern_width(char *pat)
+{
+    int i;
+    if (pat[0] != '[')
+        return 1;
+    i = 1;
+    if (pat[i] == '^')
+        i++;
+    while (pat[i] && pat[i] != ']')
+        i++;
+    return i + 1;
+}
+
+inline int match_class(char *pat, int c)
+{
+    int i = 1;
+    int negate = 0;
+    int hit = 0;
+    if (pat[i] == '^') {
+        negate = 1;
+        i++;
+    }
+    while (pat[i] && pat[i] != ']') {
+        if (pat[i + 1] == '-' && pat[i + 2] && pat[i + 2] != ']') {
+            if (c >= pat[i] && c <= pat[i + 2])
+                hit = 1;
+            i += 3;
+        } else {
+            if (pat[i] == c)
+                hit = 1;
+            i++;
+        }
+    }
+    if (negate)
+        return c != 0 && !hit;
+    return hit;
+}
+
+inline int match_one(char *pat, int c)
+{
+    if (pat[0] == '[')
+        return match_class(pat, c);
+    if (pat[0] == '.')
+        return c != 0;
+    return pat[0] == c;
+}
+
+int match_star(char *pat, int width, char *text)
+{
+    int i = 0;
+    for (;;) {
+        if (match_here(pat + width + 1, text + i))
+            return 1;
+        if (text[i] == 0 || !match_one(pat, text[i]))
+            return 0;
+        i++;
+    }
+}
+
+int match_here(char *pat, char *text)
+{
+    int width;
+    if (pat[0] == 0)
+        return 1;
+    if (pat[0] == '$' && pat[1] == 0)
+        return text[0] == 0;
+    width = pattern_width(pat);
+    if (pat[width] == '*')
+        return match_star(pat, width, text);
+    if (text[0] != 0 && match_one(pat, text[0]))
+        return match_here(pat + width, text + 1);
+    return 0;
+}
+
+int match(char *pat, char *text)
+{
+    int i = 0;
+    if (pat[0] == '^')
+        return match_here(pat + 1, text);
+    do {
+        if (match_here(pat, text + i))
+            return 1;
+    } while (text[i++] != 0);
+    return 0;
+}
+
+int read_line(char *buffer, int limit)
+{
+    int length = 0;
+    int c = bgetchar();
+    if (c == EOF)
+        return EOF;
+    while (c != EOF && c != '\\n') {
+        if (length < limit - 1) {
+            buffer[length] = c;
+            length++;
+        }
+        c = bgetchar();
+    }
+    buffer[length] = 0;
+    return length;
+}
+
+void print_match(int number, char *line, int show_numbers)
+{
+    if (show_numbers) {
+        bput_int(number);
+        bputchar(':');
+    }
+    bputs(line);
+    bputchar('\\n');
+}
+
+int main(int argc, char **argv)
+{
+    char line[MAXLINE];
+    char *pattern;
+    int show_numbers = 0;
+    int count_only = 0;
+    int invert = 0;
+    int arg = 1;
+    int line_number = 0;
+    int matched = 0;
+    while (arg < argc && argv[arg][0] == '-') {
+        char *opt = argv[arg];
+        int i = 1;
+        while (opt[i]) {
+            if (opt[i] == 'n')
+                show_numbers = 1;
+            else if (opt[i] == 'c')
+                count_only = 1;
+            else if (opt[i] == 'v')
+                invert = 1;
+            i++;
+        }
+        arg++;
+    }
+    if (arg >= argc) {
+        print_str("usage: grep [-ncv] pattern\\n");
+        return 0;
+    }
+    pattern = argv[arg];
+    while (read_line(line, MAXLINE) != EOF) {
+        int hit;
+        line_number++;
+        hit = match(pattern, line);
+        if (invert)
+            hit = !hit;
+        if (hit) {
+            matched++;
+            if (!count_only)
+                print_match(line_number, line, show_numbers);
+        }
+    }
+    if (count_only) {
+        bput_int(matched);
+        bputchar('\\n');
+    }
+    bflush();
+    return 0;
+}
+"""
+
+_PATTERNS = [
+    ["the"],
+    ["^the"],
+    ["s$"],
+    ["-n", "c.*l"],
+    ["-c", "[aeiou][aeiou]"],
+    ["-v", "e"],
+    ["-nc", "in.*ne"],
+    ["[A-Z]"],
+    ["fun[ck]tion"],
+    ["^$"],
+]
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    count = 20 if scale == "full" else 4
+    words = 700 if scale == "full" else 150
+    runs = []
+    rng = random.Random(7)
+    for seed in range(count):
+        argv = _PATTERNS[seed % len(_PATTERNS)]
+        text = word_text(seed, words + rng.randrange(words // 2))
+        runs.append(RunSpec(stdin=text, argv=list(argv), label=f"grep-{seed}"))
+    return runs

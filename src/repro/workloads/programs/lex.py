@@ -1,0 +1,263 @@
+"""lex: a lexical-analyzer generator and driver.
+
+Reads a token specification (keyword table plus character-class rules),
+builds a keyword trie, then scans source files with a table-driven
+tokenizer, reporting per-category token counts. Per-character helper
+calls (trie stepping, character classification) dominate — the paper
+reports a 77% call decrease for lex on C/Lisp/awk lexer generation.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.profile import RunSpec
+from repro.workloads.inputs import c_source_text, word_text
+
+INPUT_DESCRIPTION = "lexers for C, Lisp, awk, and pic"
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+#include <ctype.h>
+#include <bio.h>
+
+#define MAXNODES 512
+#define MAXTOK 64
+
+/* Keyword trie: nodes store a child pointer per letter. */
+int trie_child[MAXNODES][28];
+int trie_final[MAXNODES];
+int trie_nodes = 1;
+
+int letter_index(int c)
+{
+    if (c >= 'a' && c <= 'z')
+        return c - 'a';
+    if (c == '_')
+        return 26;
+    return 27;
+}
+
+int trie_step(int node, int c)
+{
+    if (node < 0)
+        return -1;
+    return trie_child[node][letter_index(c)];
+}
+
+void trie_insert(char *word)
+{
+    int node = 0;
+    int i = 0;
+    while (word[i]) {
+        int slot = letter_index(word[i]);
+        if (trie_child[node][slot] == 0) {
+            if (trie_nodes >= MAXNODES)
+                return;
+            trie_child[node][slot] = trie_nodes;
+            trie_nodes++;
+        }
+        node = trie_child[node][slot];
+        i++;
+    }
+    trie_final[node] = 1;
+}
+
+int count_keyword = 0;
+int count_ident = 0;
+int count_number = 0;
+int count_string = 0;
+int count_punct = 0;
+int count_comment = 0;
+
+int peeked = -2;
+
+int next_char(int fd)
+{
+    int c;
+    if (peeked != -2) {
+        c = peeked;
+        peeked = -2;
+        return c;
+    }
+    return bfgetc(fd);
+}
+
+void push_back(int c)
+{
+    peeked = c;
+}
+
+int scan_word(int fd, int first)
+{
+    int node = trie_step(0, first);
+    int c = next_char(fd);
+    while (c != EOF && (isalnum(c) || c == '_')) {
+        node = trie_step(node, c);
+        c = next_char(fd);
+    }
+    push_back(c);
+    if (node > 0 && trie_final[node])
+        return 1;
+    return 0;
+}
+
+void scan_number(int fd)
+{
+    int c = next_char(fd);
+    while (c != EOF && (isdigit(c) || c == 'x' || c == '.'))
+        c = next_char(fd);
+    push_back(c);
+}
+
+void scan_string(int fd, int quote)
+{
+    int c = next_char(fd);
+    while (c != EOF && c != quote) {
+        if (c == '\\\\')
+            next_char(fd);
+        c = next_char(fd);
+    }
+}
+
+int scan_comment(int fd, int c)
+{
+    int d;
+    if (c != '/')
+        return 0;
+    d = next_char(fd);
+    if (d == '/') {
+        d = next_char(fd);
+        while (d != EOF && d != '\\n')
+            d = next_char(fd);
+        return 1;
+    }
+    if (d == '*') {
+        int prev = 0;
+        d = next_char(fd);
+        while (d != EOF && !(prev == '*' && d == '/')) {
+            prev = d;
+            d = next_char(fd);
+        }
+        return 1;
+    }
+    push_back(d);
+    return 0;
+}
+
+void tokenize(int fd)
+{
+    int c = next_char(fd);
+    while (c != EOF) {
+        if (isalpha(c) || c == '_') {
+            if (scan_word(fd, c))
+                count_keyword++;
+            else
+                count_ident++;
+        } else if (isdigit(c)) {
+            scan_number(fd);
+            count_number++;
+        } else if (c == '"' || c == '\\'') {
+            scan_string(fd, c);
+            count_string++;
+        } else if (scan_comment(fd, c)) {
+            count_comment++;
+        } else if (!isspace(c)) {
+            count_punct++;
+        }
+        c = next_char(fd);
+    }
+}
+
+int read_spec_word(int fd, char *word)
+{
+    int n = 0;
+    int c = fgetc(fd);
+    while (c != EOF && isspace(c))
+        c = fgetc(fd);
+    if (c == EOF)
+        return EOF;
+    while (c != EOF && !isspace(c) && n < MAXTOK - 1) {
+        word[n] = c;
+        n++;
+        c = fgetc(fd);
+    }
+    word[n] = 0;
+    return n;
+}
+
+void report(char *label, int value)
+{
+    print_str(label);
+    putchar(' ');
+    print_int(value);
+    putchar('\\n');
+}
+
+int main(int argc, char **argv)
+{
+    char word[MAXTOK];
+    int spec_fd;
+    int source_fd;
+    int keywords = 0;
+    if (argc < 3) {
+        print_str("usage: lex spec source\\n");
+        return 0;
+    }
+    spec_fd = open(argv[1], O_READ);
+    source_fd = open(argv[2], O_READ);
+    if (spec_fd == EOF || source_fd == EOF) {
+        print_str("lex: cannot open input\\n");
+        return 0;
+    }
+    while (read_spec_word(spec_fd, word) != EOF) {
+        trie_insert(word);
+        keywords++;
+    }
+    close(spec_fd);
+    tokenize(source_fd);
+    close(source_fd);
+    report("keywords", count_keyword);
+    report("idents", count_ident);
+    report("numbers", count_number);
+    report("strings", count_string);
+    report("puncts", count_punct);
+    report("comments", count_comment);
+    report("trie", trie_nodes);
+    return 0;
+}
+"""
+
+_SPECS = {
+    "c.spec": "int char void if else while for return break continue "
+    "switch case default do struct sizeof static extern",
+    "lisp.spec": "defun lambda let cond car cdr cons quote setq progn "
+    "if and or not atom eq",
+    "awk.spec": "BEGIN END function print printf getline next exit "
+    "if else while for in delete",
+    "pic.spec": "box circle ellipse line arrow move up down left right "
+    "at with from to",
+}
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    specs = list(_SPECS)
+    count = 4  # the paper profiles lex over 4 inputs
+    size = 60 if scale == "full" else 15
+    runs = []
+    for seed in range(count):
+        spec_name = specs[seed % len(specs)]
+        if seed % 2 == 0:
+            source = c_source_text(seed, size)
+        else:
+            source = word_text(seed, size * 12)
+        runs.append(
+            RunSpec(
+                files={
+                    spec_name: _SPECS[spec_name].encode(),
+                    "input.src": source,
+                },
+                argv=[spec_name, "input.src"],
+                label=f"lex-{seed}",
+            )
+        )
+    return runs

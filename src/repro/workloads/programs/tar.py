@@ -1,0 +1,239 @@
+"""tar: archive creation and extraction.
+
+``tar c archive f1 f2 ...`` packs files with fixed-size headers and a
+rolling checksum; ``tar x archive`` unpacks and verifies. Every data
+byte flows through small user wrappers that maintain the checksum while
+the actual I/O is external — roughly the paper's 43% call-decrease mix.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.profile import RunSpec
+from repro.workloads.inputs import binary_blob, word_text
+
+INPUT_DESCRIPTION = "save/extract files"
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+
+#define NAMELEN 24
+#define BLOCK 64
+
+int checksum = 0;
+int out_fd = -1;
+int in_fd = -1;
+
+void put_byte(int c)
+{
+    checksum = (checksum + (c & 255)) & 65535;
+    fputc(c, out_fd);
+}
+
+int get_byte(void)
+{
+    int c = fgetc(in_fd);
+    if (c != EOF)
+        checksum = (checksum + (c & 255)) & 65535;
+    return c;
+}
+
+void put_number(int value, int digits)
+{
+    int shift = (digits - 1) * 4;
+    while (shift >= 0) {
+        int nibble = (value >> shift) & 15;
+        if (nibble < 10)
+            put_byte('0' + nibble);
+        else
+            put_byte('a' + nibble - 10);
+        shift -= 4;
+    }
+}
+
+int get_number(int digits)
+{
+    int value = 0;
+    int i;
+    for (i = 0; i < digits; i++) {
+        int c = get_byte();
+        if (c >= '0' && c <= '9')
+            value = value * 16 + (c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value = value * 16 + (c - 'a' + 10);
+    }
+    return value;
+}
+
+void put_name(char *name)
+{
+    int i = 0;
+    while (name[i] && i < NAMELEN) {
+        put_byte(name[i]);
+        i++;
+    }
+    while (i < NAMELEN) {
+        put_byte(0);
+        i++;
+    }
+}
+
+void get_name(char *name)
+{
+    int i;
+    for (i = 0; i < NAMELEN; i++) {
+        int c = get_byte();
+        name[i] = c;
+    }
+    name[NAMELEN] = 0;
+}
+
+void write_header(char *name, int size)
+{
+    checksum = 0;
+    put_byte('T');
+    put_byte('!');
+    put_name(name);
+    put_number(size, 8);
+}
+
+int archive_file(char *name)
+{
+    int fd = open(name, O_READ);
+    int size;
+    int c;
+    int written = 0;
+    if (fd == EOF) {
+        print_str("tar: missing ");
+        print_str(name);
+        putchar('\\n');
+        return 0;
+    }
+    size = fsize(fd);
+    write_header(name, size);
+    checksum = 0;
+    c = fgetc(fd);
+    while (c != EOF) {
+        put_byte(c);
+        written++;
+        c = fgetc(fd);
+    }
+    while (written % BLOCK) {
+        put_byte(0);
+        written++;
+    }
+    put_number(checksum, 4);
+    close(fd);
+    return size;
+}
+
+int extract_file(void)
+{
+    char name[NAMELEN + 1];
+    int size;
+    int stored;
+    int i;
+    int fd;
+    int magic = get_byte();
+    if (magic == EOF)
+        return EOF;
+    if (magic != 'T' || get_byte() != '!') {
+        print_str("tar: bad magic\\n");
+        return EOF;
+    }
+    get_name(name);
+    size = get_number(8);
+    checksum = 0;
+    fd = open(name, O_WRITE);
+    for (i = 0; i < size; i++)
+        fputc(get_byte() & 255, fd);
+    i = size;
+    while (i % BLOCK) {
+        get_byte();
+        i++;
+    }
+    stored = checksum;
+    close(fd);
+    print_str("x ");
+    print_str(name);
+    putchar(' ');
+    print_int(size);
+    if (get_number(4) != stored)
+        print_str(" CHECKSUM MISMATCH");
+    putchar('\\n');
+    return size;
+}
+
+int main(int argc, char **argv)
+{
+    int i;
+    int total = 0;
+    if (argc < 3) {
+        print_str("usage: tar c|x archive [files]\\n");
+        return 0;
+    }
+    if (strcmp(argv[1], "c") == 0) {
+        out_fd = open(argv[2], O_WRITE);
+        for (i = 3; i < argc; i++)
+            total += archive_file(argv[i]);
+        close(out_fd);
+        print_str("archived ");
+        print_int(total);
+        print_str(" bytes\\n");
+    } else {
+        in_fd = open(argv[2], O_READ);
+        if (in_fd == EOF) {
+            print_str("tar: cannot open archive\\n");
+            return 0;
+        }
+        while (extract_file() != EOF)
+            total++;
+        close(in_fd);
+        print_str("extracted ");
+        print_int(total);
+        print_str(" files\\n");
+    }
+    return 0;
+}
+"""
+
+
+def _build_archive(seed: int, sizes: list[int]) -> bytes:
+    """Create an archive in the program's own format, for extract runs."""
+
+    def number(value: int, digits: int) -> bytes:
+        return format(value & (16**digits - 1), f"0{digits}x").encode()
+
+    out = bytearray()
+    for index, size in enumerate(sizes):
+        name = f"file{index}.dat".encode()
+        data = binary_blob(seed * 100 + index, size)
+        out += b"T!"
+        out += name.ljust(24, b"\x00")[:24]
+        out += number(size, 8)
+        checksum = sum(data) & 65535
+        padded = data + b"\x00" * (-len(data) % 64)
+        checksum = sum(padded) & 65535
+        out += padded
+        out += number(checksum, 4)
+    return bytes(out)
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    count = 14 if scale == "full" else 4
+    base = 900 if scale == "full" else 250
+    runs = []
+    for seed in range(count):
+        if seed % 2 == 0:  # create
+            files = {
+                "a.txt": word_text(seed, base // 6),
+                "b.bin": binary_blob(seed, base),
+                "c.txt": word_text(seed + 50, base // 8),
+            }
+            argv = ["c", "out.tar", "a.txt", "b.bin", "c.txt"]
+        else:  # extract
+            archive = _build_archive(seed, [base, base // 2, base // 3])
+            files = {"in.tar": archive}
+            argv = ["x", "in.tar"]
+        runs.append(RunSpec(files=files, argv=argv, label=f"tar-{seed}"))
+    return runs

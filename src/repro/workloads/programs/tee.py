@@ -1,0 +1,72 @@
+"""tee: copy stdin to stdout and to each named output file.
+
+Every hot call is an external (getchar/putchar/fputc), so inlining
+eliminates ~0% of dynamic calls at 0% code growth — the paper's tee row.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.profile import RunSpec
+from repro.workloads.inputs import c_source_text, word_text
+
+INPUT_DESCRIPTION = "same as cccp"
+
+SOURCE = """\
+#include <sys.h>
+
+#define MAXOUT 8
+
+int open_outputs(char **argv, int argc, int *fds)
+{
+    int count = 0;
+    int i;
+    for (i = 1; i < argc && count < MAXOUT; i++) {
+        int fd = open(argv[i], O_WRITE);
+        if (fd != EOF) {
+            fds[count] = fd;
+            count++;
+        }
+    }
+    return count;
+}
+
+int main(int argc, char **argv)
+{
+    int fds[MAXOUT];
+    int count = open_outputs(argv, argc, fds);
+    int copied = 0;
+    int c = getchar();
+    while (c != EOF) {
+        int i;
+        putchar(c);
+        for (i = 0; i < count; i++)
+            fputc(c, fds[i]);
+        copied++;
+        c = getchar();
+    }
+    {
+        int i;
+        for (i = 0; i < count; i++)
+            close(fds[i]);
+    }
+    return 0;
+}
+"""
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    if scale == "full":
+        seeds = range(20)
+        base_words = 120
+    else:
+        seeds = range(4)
+        base_words = 50
+    runs = []
+    for seed in seeds:
+        if seed % 2:
+            stdin = c_source_text(seed, max(base_words // 20, 2))
+        else:
+            stdin = word_text(seed, base_words + 30 * seed)
+        argv = ["out-a.txt"] if seed % 3 else ["out-a.txt", "out-b.txt"]
+        runs.append(RunSpec(stdin=stdin, argv=argv, label=f"tee-{seed}"))
+    return runs

@@ -1,0 +1,395 @@
+"""yacc: an LL(1) parser generator and table-driven parser.
+
+Reads a grammar (uppercase nonterminals, lowercase terminals), computes
+NULLABLE/FIRST/FOLLOW with iterative set helpers, builds the predictive
+parse table (reporting conflicts), then parses query token strings with
+an explicit stack. Set-operation helpers run inside fixpoint loops, so
+user calls dominate — the paper reports an 80% call decrease for yacc.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.profile import RunSpec
+
+INPUT_DESCRIPTION = "grammar for a C compiler, etc."
+
+SOURCE = """\
+#include <sys.h>
+#include <string.h>
+#include <ctype.h>
+#include <bio.h>
+
+#define MAXRULES 48
+#define MAXRHS 8
+#define MAXLINE 96
+#define NSYM 26
+#define END_MARK 26
+
+int rule_lhs[MAXRULES];
+char rule_rhs[MAXRULES][MAXRHS + 1];
+int nrules = 0;
+int start_symbol = -1;
+
+int nullable[NSYM];
+int first_set[NSYM];
+int follow_set[NSYM];
+int table[NSYM][NSYM + 1];
+int conflicts = 0;
+
+int is_nonterm(int c)
+{
+    return c >= 'A' && c <= 'Z';
+}
+
+int is_term(int c)
+{
+    return c >= 'a' && c <= 'z';
+}
+
+int nt_index(int c)
+{
+    return c - 'A';
+}
+
+int t_index(int c)
+{
+    return c - 'a';
+}
+
+int add_bits(int *target, int bits)
+{
+    int old = *target;
+    *target = old | bits;
+    return *target != old;
+}
+
+int symbol_first(int c)
+{
+    if (is_term(c))
+        return 1 << t_index(c);
+    return first_set[nt_index(c)];
+}
+
+int symbol_nullable(int c)
+{
+    if (is_term(c))
+        return 0;
+    return nullable[nt_index(c)];
+}
+
+int rhs_nullable(char *rhs, int from)
+{
+    int i = from;
+    while (rhs[i]) {
+        if (!symbol_nullable(rhs[i]))
+            return 0;
+        i++;
+    }
+    return 1;
+}
+
+int rhs_first(char *rhs, int from)
+{
+    int bits = 0;
+    int i = from;
+    while (rhs[i]) {
+        bits = bits | symbol_first(rhs[i]);
+        if (!symbol_nullable(rhs[i]))
+            return bits;
+        i++;
+    }
+    return bits;
+}
+
+void compute_nullable(void)
+{
+    int changed = 1;
+    while (changed) {
+        int r;
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            if (!nullable[rule_lhs[r]] && rhs_nullable(rule_rhs[r], 0)) {
+                nullable[rule_lhs[r]] = 1;
+                changed = 1;
+            }
+        }
+    }
+}
+
+void compute_first(void)
+{
+    int changed = 1;
+    while (changed) {
+        int r;
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            if (add_bits(&first_set[rule_lhs[r]], rhs_first(rule_rhs[r], 0)))
+                changed = 1;
+        }
+    }
+}
+
+void compute_follow(void)
+{
+    int changed = 1;
+    follow_set[start_symbol] = 1 << END_MARK;
+    while (changed) {
+        int r;
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            char *rhs = rule_rhs[r];
+            int i = 0;
+            while (rhs[i]) {
+                if (is_nonterm(rhs[i])) {
+                    int idx = nt_index(rhs[i]);
+                    if (add_bits(&follow_set[idx], rhs_first(rhs, i + 1)))
+                        changed = 1;
+                    if (rhs_nullable(rhs, i + 1)
+                        && add_bits(&follow_set[idx],
+                                    follow_set[rule_lhs[r]]))
+                        changed = 1;
+                }
+                i++;
+            }
+        }
+    }
+}
+
+void table_set(int nonterm, int term, int rule)
+{
+    if (table[nonterm][term] != 0) {
+        if (table[nonterm][term] != rule + 1)
+            conflicts++;
+        return;
+    }
+    table[nonterm][term] = rule + 1;
+}
+
+void build_table(void)
+{
+    int r;
+    for (r = 0; r < nrules; r++) {
+        int firsts = rhs_first(rule_rhs[r], 0);
+        int t;
+        for (t = 0; t < NSYM; t++) {
+            if (firsts & (1 << t))
+                table_set(rule_lhs[r], t, r);
+        }
+        if (rhs_nullable(rule_rhs[r], 0)) {
+            int follows = follow_set[rule_lhs[r]];
+            for (t = 0; t <= END_MARK; t++) {
+                if (follows & (1 << t))
+                    table_set(rule_lhs[r], t, r);
+            }
+        }
+    }
+}
+
+char parse_stack[256];
+int stack_top = 0;
+
+void push_symbol(int c)
+{
+    if (stack_top < 255) {
+        parse_stack[stack_top] = c;
+        stack_top++;
+    }
+}
+
+int pop_symbol(void)
+{
+    if (stack_top == 0)
+        return 0;
+    stack_top--;
+    return parse_stack[stack_top];
+}
+
+int parse_tokens(char *tokens)
+{
+    int pos = 0;
+    int steps = 0;
+    stack_top = 0;
+    push_symbol('A' + start_symbol);
+    while (stack_top > 0 && steps < 4000) {
+        int top = pop_symbol();
+        int look = tokens[pos] ? t_index(tokens[pos]) : END_MARK;
+        steps++;
+        if (is_term(top)) {
+            if (tokens[pos] != top)
+                return 0;
+            pos++;
+        } else {
+            int rule = table[nt_index(top)][look];
+            int len;
+            int i;
+            if (rule == 0)
+                return 0;
+            rule--;
+            len = strlen(rule_rhs[rule]);
+            for (i = len - 1; i >= 0; i--)
+                push_symbol(rule_rhs[rule][i]);
+        }
+    }
+    return tokens[pos] == 0 && stack_top == 0;
+}
+
+int read_line(int fd, char *buffer)
+{
+    int length = 0;
+    int c = bfgetc(fd);
+    if (c == EOF)
+        return EOF;
+    while (c != EOF && c != '\\n') {
+        if (length < MAXLINE - 1) {
+            buffer[length] = c;
+            length++;
+        }
+        c = bfgetc(fd);
+    }
+    buffer[length] = 0;
+    return length;
+}
+
+void add_rule(char *line)
+{
+    int i = 0;
+    int n = 0;
+    if (nrules >= MAXRULES)
+        return;
+    while (line[i] == ' ')
+        i++;
+    if (!is_nonterm(line[i]))
+        return;
+    rule_lhs[nrules] = nt_index(line[i]);
+    if (start_symbol < 0)
+        start_symbol = rule_lhs[nrules];
+    while (line[i] && line[i] != '=')
+        i++;
+    if (line[i] == '=')
+        i++;
+    while (line[i] && n < MAXRHS) {
+        if (is_nonterm(line[i]) || is_term(line[i])) {
+            rule_rhs[nrules][n] = line[i];
+            n++;
+        }
+        i++;
+    }
+    rule_rhs[nrules][n] = 0;
+    nrules++;
+}
+
+int main(int argc, char **argv)
+{
+    char line[MAXLINE];
+    int fd;
+    int accepted = 0;
+    int rejected = 0;
+    int entries = 0;
+    int i, j;
+    if (argc < 2) {
+        print_str("usage: yacc grammar-file\\n");
+        return 0;
+    }
+    fd = open(argv[1], O_READ);
+    if (fd == EOF) {
+        print_str("yacc: cannot open input\\n");
+        return 0;
+    }
+    while (read_line(fd, line) != EOF) {
+        if (line[0] == '?') {
+            /* queries are parsed after the grammar is complete */
+        } else if (line[0] != '#' && line[0] != 0) {
+            add_rule(line);
+        }
+    }
+    compute_nullable();
+    compute_first();
+    compute_follow();
+    build_table();
+    close(fd);
+    fd = open(argv[1], O_READ);
+    while (read_line(fd, line) != EOF) {
+        if (line[0] == '?') {
+            if (parse_tokens(line + 1))
+                accepted++;
+            else
+                rejected++;
+        }
+    }
+    close(fd);
+    for (i = 0; i < NSYM; i++) {
+        for (j = 0; j <= NSYM; j++) {
+            if (table[i][j] != 0)
+                entries++;
+        }
+    }
+    print_str("rules ");
+    print_int(nrules);
+    print_str(" entries ");
+    print_int(entries);
+    print_str(" conflicts ");
+    print_int(conflicts);
+    print_str(" accept ");
+    print_int(accepted);
+    print_str(" reject ");
+    print_int(rejected);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+# Grammars: expression grammar, balanced parens, list grammar, and a
+# statement grammar sketching a C compiler's shape (the paper's input).
+_GRAMMARS = [
+    (
+        "E = T R\n"
+        "R = p T R\n"
+        "R =\n"
+        "T = F S\n"
+        "S = m F S\n"
+        "S =\n"
+        "F = x\n"
+        "F = l E r\n",
+        ["xpx", "xmxpx", "lxpxrmx", "x", "px", "lxr", "xx", "lxpxr"],
+    ),
+    (
+        "B = l B r B\n" "B =\n",
+        ["lr", "llrr", "lrlr", "llrlrr", "rl", "l", "lllrrr"],
+    ),
+    (
+        "L = i C\n" "C = c i C\n" "C =\n",
+        ["i", "ici", "icici", "ic", "ci", "icicici"],
+    ),
+    (
+        "P = D P\n"
+        "P = S P\n"
+        "P =\n"
+        "D = t i s\n"
+        "S = i a E s\n"
+        "E = i F\n"
+        "F = p i F\n"
+        "F =\n",
+        ["tis", "iais", "tisiais", "iaipis", "tistis", "ia", "tisiaipipis"],
+    ),
+]
+
+
+def _grammar_input(index: int, queries_scale: int) -> bytes:
+    grammar, queries = _GRAMMARS[index % len(_GRAMMARS)]
+    lines = [grammar.strip()]
+    for repeat in range(queries_scale):
+        for query in queries:
+            lines.append("?" + query * (1 + repeat % 3))
+    return ("\n".join(lines) + "\n").encode()
+
+
+def make_runs(scale: str = "small") -> list[RunSpec]:
+    count = 8  # the paper profiles yacc over 8 inputs
+    queries_scale = 6 if scale == "full" else 2
+    runs = []
+    for seed in range(count):
+        data = _grammar_input(seed, queries_scale + seed % 3)
+        runs.append(
+            RunSpec(files={"g.y": data}, argv=["g.y"], label=f"yacc-{seed}")
+        )
+    return runs

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.profiler.profile import RunSpec, profile_module
+
+
+@pytest.fixture
+def make_profiled():
+    """Factory fixture: compile + profile a program over given inputs."""
+
+    def factory(source: str, specs: list[RunSpec] | None = None):
+        module = compile_program(source)
+        specs = specs or [RunSpec()]
+        profile = profile_module(module, specs, check_exit=False)
+        return module, profile, specs
+
+    return factory

@@ -1,0 +1,53 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.compiler import compile_program
+from repro.profiler.profile import RunSpec, profile_module, run_once
+from repro.vm.machine import Machine, RunResult
+from repro.vm.os import VirtualOS
+
+
+def run_c(
+    source: str,
+    stdin: bytes = b"",
+    argv: list[str] | None = None,
+    files: dict[str, bytes] | None = None,
+    link_libc: bool = True,
+    fuel: int = 50_000_000,
+) -> RunResult:
+    """Compile C-subset source and execute it once."""
+    module = compile_program(source, link_libc=link_libc)
+    os = VirtualOS(stdin=stdin, files=files or {}, argv=argv or [])
+    return Machine(module, os, fuel=fuel).run()
+
+
+def c_output(source: str, **kwargs) -> str:
+    """Run and return stdout, asserting a zero exit code."""
+    result = run_c(source, **kwargs)
+    assert result.exit_code == 0, (
+        f"exit {result.exit_code}, stderr: {result.os.stderr_text()!r}"
+    )
+    return result.stdout
+
+
+def c_main(body: str, prelude: str = "") -> str:
+    """Wrap statements in a main() with the standard headers."""
+    return (
+        "#include <sys.h>\n#include <string.h>\n#include <stdlib.h>\n"
+        "#include <ctype.h>\n"
+        f"{prelude}\n"
+        "int main(void) {\n"
+        f"{body}\n"
+        "return 0;\n}}\n".replace("}}", "}")
+    )
+
+
+def expr_value(expression: str, prelude: str = "") -> int:
+    """Evaluate a C expression via the pipeline; return it as an int."""
+    source = c_main(f"print_int({expression}); putchar(10);", prelude)
+    out = c_output(source)
+    return int(out.strip())
+
+
+__all__ = ["c_main", "c_output", "expr_value", "run_c", "run_once"]

@@ -1,0 +1,271 @@
+"""Tests for the analysis package (CFG, dominators, loops, liveness)
+and the CSE pass that builds on value numbering."""
+
+from repro.analysis import (
+    build_cfg,
+    call_sites_in_loops,
+    dominator_sets,
+    immediate_dominators,
+    liveness,
+    natural_loops,
+)
+from repro.compiler import compile_program
+from repro.il.instructions import Opcode
+from repro.il.verifier import verify_module
+from repro.opt import optimize_module
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.profiler.profile import run_once
+
+
+def fn_of(source, name="main"):
+    return compile_program(source, link_libc=False).functions[name]
+
+
+STRAIGHT = "int main(void) { int a = 1; int b = a + 2; return b; }"
+
+DIAMOND = """
+int main(void) {
+    int a = 1;
+    if (a) a = 2; else a = 3;
+    return a;
+}
+"""
+
+LOOP = """
+int main(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 10; i++)
+        s += i;
+    return s;
+}
+"""
+
+
+class TestCFG:
+    def test_straight_line_single_reachable_block(self):
+        cfg = build_cfg(fn_of(STRAIGHT))
+        # One real block plus possibly the unreachable fallback-return
+        # block the lowering appends after an explicit return.
+        assert len(cfg.blocks) <= 2
+        assert cfg.blocks[0].successors == []
+
+    def test_diamond_shape(self):
+        cfg = build_cfg(fn_of(DIAMOND))
+        entry = cfg.entry
+        assert len(entry.successors) == 2
+        join_candidates = [
+            b.index
+            for b in cfg.blocks
+            if len(b.predecessors) >= 2
+        ]
+        assert join_candidates  # the merge block exists
+
+    def test_every_instruction_in_exactly_one_block(self):
+        function = fn_of(LOOP)
+        cfg = build_cfg(function)
+        covered = []
+        for block in cfg.blocks:
+            covered.extend(range(block.start, block.end))
+        assert covered == list(range(len(function.body)))
+
+    def test_labels_map_to_blocks(self):
+        function = fn_of(LOOP)
+        cfg = build_cfg(function)
+        for label, block_index in cfg.block_of_label.items():
+            block = cfg.blocks[block_index]
+            labels_at_head = [
+                i.label
+                for i in block.instructions(function)
+                if i.op is Opcode.LABEL
+            ]
+            assert label in labels_at_head
+
+    def test_edges_are_symmetric(self):
+        cfg = build_cfg(fn_of(LOOP))
+        for block in cfg.blocks:
+            for successor in block.successors:
+                assert block.index in cfg.blocks[successor].predecessors
+
+
+class TestDominators:
+    def test_entry_dominates_everything_reachable(self):
+        cfg = build_cfg(fn_of(DIAMOND))
+        dom = dominator_sets(cfg)
+        for block in cfg.blocks:
+            if block.predecessors or block.index == 0:
+                assert 0 in dom[block.index]
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = build_cfg(fn_of(DIAMOND))
+        dom = dominator_sets(cfg)
+        join = next(
+            b.index for b in cfg.blocks if len(b.predecessors) >= 2
+        )
+        arms = cfg.entry.successors
+        for arm in arms:
+            if arm != join:
+                assert arm not in dom[join]
+
+    def test_immediate_dominator_of_entry_is_none(self):
+        cfg = build_cfg(fn_of(DIAMOND))
+        assert immediate_dominators(cfg)[0] is None
+
+    def test_idom_is_a_strict_dominator(self):
+        cfg = build_cfg(fn_of(LOOP))
+        dom = dominator_sets(cfg)
+        for index, idom in immediate_dominators(cfg).items():
+            if idom is not None:
+                assert idom in dom[index] and idom != index
+
+
+class TestLoops:
+    def test_for_loop_detected(self):
+        cfg = build_cfg(fn_of(LOOP))
+        loops = natural_loops(cfg)
+        assert len(loops) >= 1
+        header_block = cfg.blocks[loops[0].header]
+        assert header_block.predecessors  # entered from two places
+
+    def test_straight_line_has_no_loops(self):
+        assert natural_loops(build_cfg(fn_of(STRAIGHT))) == []
+
+    def test_call_in_loop_found(self):
+        function = fn_of(
+            "int g(int x) { return x; }"
+            "int main(void) { int i; int s = 0;"
+            " for (i = 0; i < 5; i++) s += g(i); return s; }"
+        )
+        assert len(call_sites_in_loops(function)) == 1
+
+    def test_call_outside_loop_not_flagged(self):
+        function = fn_of(
+            "int g(int x) { return x; }"
+            "int main(void) { int i; int s = g(1);"
+            " for (i = 0; i < 5; i++) s += i; return s; }"
+        )
+        assert call_sites_in_loops(function) == set()
+
+    def test_nested_loops(self):
+        function = fn_of(
+            "int main(void) { int i; int j; int s = 0;"
+            " for (i = 0; i < 3; i++)"
+            "   for (j = 0; j < 3; j++) s++;"
+            " return s; }"
+        )
+        loops = natural_loops(build_cfg(function))
+        assert len(loops) == 2
+        sizes = sorted(len(loop.body) for loop in loops)
+        assert sizes[0] < sizes[1]  # inner loop nested in outer
+
+
+class TestLiveness:
+    def test_loop_variable_live_around_backedge(self):
+        function = fn_of(LOOP)
+        result = liveness(function)
+        live = result.live_anywhere()
+        # The induction register (v.i.*) stays live across blocks.
+        assert any(reg.startswith("v.i") for reg in live)
+
+    def test_dead_value_not_live_out_of_definition(self):
+        function = fn_of(
+            "int main(void) { int unused = 5; return 0; }"
+        )
+        result = liveness(function)
+        assert all(
+            not reg.startswith("v.unused") for reg in result.live_anywhere()
+        )
+
+    def test_params_live_in_entry_when_used(self):
+        function = fn_of(
+            "int f(int x) { return x + 1; } int main(void) { return f(1); }",
+            name="f",
+        )
+        result = liveness(function)
+        assert any(reg.startswith("p.x") for reg in result.live_in[0])
+
+
+class TestCSE:
+    def test_redundant_address_arithmetic_removed(self):
+        source = """
+        #include <sys.h>
+        int v[10];
+        int main(void) {
+            int i = getchar();
+            v[i] = v[i] + v[i];
+            print_int(v[i]);
+            return 0;
+        }
+        """
+        module = compile_program(source, link_libc=False)
+        before = run_once(module).stdout
+        main = module.functions["main"]
+        removed = eliminate_common_subexpressions(main)
+        verify_module(module)
+        assert removed > 0
+        assert run_once(module).stdout == before
+
+    def test_commutative_match(self):
+        source = """
+        #include <sys.h>
+        int main(void) {
+            int a = getchar();
+            int b = getchar();
+            print_int(a + b);
+            print_int(b + a);
+            return 0;
+        }
+        """
+        module = compile_program(source, link_libc=False)
+        main = module.functions["main"]
+        assert eliminate_common_subexpressions(main) >= 1
+
+    def test_redefinition_invalidates(self):
+        source = """
+        #include <sys.h>
+        int main(void) {
+            int a = getchar();
+            int x = a + 1;
+            a = getchar();
+            int y = a + 1;
+            print_int(x); print_int(y);
+            return 0;
+        }
+        """
+        module = compile_program(source, link_libc=False)
+        main = module.functions["main"]
+        eliminate_common_subexpressions(main)
+        verify_module(module)
+        result = run_once(module)
+        # With empty stdin both getchar() return EOF (-1): x == y == 0.
+        assert result.stdout == "00"
+
+    def test_noncommutative_not_merged(self):
+        source = """
+        #include <sys.h>
+        int main(void) {
+            int a = getchar();
+            int b = getchar();
+            print_int(a - b);
+            print_int(b - a);
+            return 0;
+        }
+        """
+        module = compile_program(source, link_libc=False)
+        before = run_once(module, ).stdout
+        eliminate_common_subexpressions(module.functions["main"])
+        assert run_once(module).stdout == before
+
+    def test_pipeline_with_cse_preserves_benchmarks(self):
+        from repro.workloads import benchmark_by_name
+
+        benchmark = benchmark_by_name("eqn")
+        module = benchmark.compile()
+        spec = benchmark.make_runs("small")[0]
+        before = run_once(module, spec)
+        stats = optimize_module(module)
+        verify_module(module)
+        after = run_once(module, spec)
+        assert after.stdout == before.stdout
+        assert stats.by_pass.get("cse", 0) > 0
+        assert after.counters.il <= before.counters.il

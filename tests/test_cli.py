@@ -1,0 +1,109 @@
+"""Tests for the impact-inline CLI and the experiments __main__."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.__main__ import main as experiments_main
+
+PROGRAM = """
+#include <sys.h>
+int triple(int x) { return x * 3; }
+int main(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 40; i++)
+        s += triple(i);
+    print_int(s);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_runs_and_prints(self, c_file, capsys):
+        code = cli_main(["run", c_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2340" in captured.out
+        assert "ILs" in captured.err
+
+    def test_stdin_flag(self, tmp_path, capsys):
+        path = tmp_path / "echo.c"
+        path.write_text(
+            "#include <sys.h>\n"
+            "int main(void) { int c = getchar();"
+            " while (c != EOF) { putchar(c); c = getchar(); } return 0; }"
+        )
+        cli_main(["run", str(path), "--stdin", "ping"])
+        assert "ping" in capsys.readouterr().out
+
+    def test_argv_flags(self, tmp_path, capsys):
+        path = tmp_path / "args.c"
+        path.write_text(
+            "#include <sys.h>\n"
+            "int main(int argc, char **argv) {"
+            " print_str(argv[1]); return 0; }"
+        )
+        cli_main(["run", str(path), "--arg", "zap"])
+        assert "zap" in capsys.readouterr().out
+
+
+class TestInlineCommand:
+    def test_reports_improvement(self, c_file, capsys):
+        code = cli_main(["inline", c_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "expanded call sites" in out
+        assert "call decrease" in out
+
+    def test_dump_flag_prints_il(self, c_file, capsys):
+        cli_main(["inline", c_file, "--dump"])
+        out = capsys.readouterr().out
+        assert "func main" in out
+
+    def test_threshold_flag(self, c_file, capsys):
+        cli_main(["inline", c_file, "--threshold", "1000000"])
+        out = capsys.readouterr().out
+        assert "expanded call sites : 0" in out
+
+
+class TestTablesCommand:
+    def test_single_benchmark_table(self, capsys):
+        code = experiments_main(["table1", "--benchmarks", "tee"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "tee" in out
+
+    def test_table4_subset(self, capsys):
+        code = experiments_main(["table4", "--benchmarks", "wc", "tee"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "code inc" in out
+
+
+class TestGraphCommand:
+    def test_dot_output(self, c_file, capsys):
+        code = cli_main(["graph", c_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph callgraph")
+        assert '"triple"' in out
+
+    def test_profile_weights(self, c_file, capsys):
+        cli_main(["graph", c_file, "--profile"])
+        out = capsys.readouterr().out
+        assert "triple\\n40" in out
+
+    def test_synthetic_flag(self, c_file, capsys):
+        cli_main(["graph", c_file, "--synthetic"])
+        out = capsys.readouterr().out
+        assert "style=dotted" in out

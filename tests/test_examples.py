@@ -1,0 +1,34 @@
+"""Every example script must run clean — they are the documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_expected_examples_present():
+    names = {path.name for path in _EXAMPLES}
+    assert {
+        "quickstart.py",
+        "custom_program.py",
+        "heuristic_comparison.py",
+        "optimization_scope.py",
+        "paper_tables.py",
+    } <= names

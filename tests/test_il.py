@@ -1,0 +1,273 @@
+"""Unit tests for the IL layer: instructions, functions, modules,
+printer, and verifier."""
+
+import pytest
+
+from repro.errors import ILError
+from repro.compiler import compile_program
+from repro.il.function import CALL_OVERHEAD_BYTES, ILFunction
+from repro.il.instructions import (
+    Instr,
+    Opcode,
+    is_control_transfer,
+    is_real,
+    is_terminator,
+)
+from repro.il.module import GlobalData, ILModule, InitItem
+from repro.il.printer import format_function, format_instr, format_module
+from repro.il.verifier import verify_module
+
+
+def minimal_function(name="f", params=(), returns=False):
+    fn = ILFunction(name, list(params), returns)
+    fn.body.append(Instr(Opcode.RET, a=0 if returns else None))
+    return fn
+
+
+def minimal_module():
+    module = ILModule("main")
+    module.add_function(minimal_function("main", returns=True))
+    return module
+
+
+class TestInstr:
+    def test_copy_is_deep_enough(self):
+        instr = Instr(Opcode.CALL, dst="t0", name="f", args=["a", 1], site=3)
+        clone = instr.copy()
+        clone.args.append("x")
+        assert instr.args == ["a", 1]
+
+    def test_sources_for_bin(self):
+        instr = Instr(Opcode.BIN, dst="t", op2="+", a="x", b=2)
+        assert list(instr.sources()) == ["x", 2]
+        assert instr.source_regs() == ["x"]
+
+    def test_sources_for_call(self):
+        instr = Instr(Opcode.CALL, dst="t", name="f", args=["a", "b", 3])
+        assert instr.source_regs() == ["a", "b"]
+
+    def test_sources_for_icall_include_pointer(self):
+        instr = Instr(Opcode.ICALL, dst="t", a="fp", args=["x"])
+        assert instr.source_regs() == ["fp", "x"]
+
+    def test_replace_regs(self):
+        instr = Instr(Opcode.BIN, dst="t", op2="+", a="x", b="y")
+        instr.replace_regs({"x": "x2", "t": "t2"})
+        assert instr.a == "x2" and instr.b == "y" and instr.dst == "t2"
+
+    def test_labels_used_switch(self):
+        instr = Instr(Opcode.SWITCH, a="v", cases=[(1, "L1"), (2, "L2")], label2="LD")
+        assert instr.labels_used() == ["L1", "L2", "LD"]
+
+    def test_retarget_labels(self):
+        instr = Instr(Opcode.CJUMP, a="c", label="A", label2="B")
+        instr.retarget_labels({"A": "X"})
+        assert instr.label == "X" and instr.label2 == "B"
+
+    def test_classification_predicates(self):
+        assert is_real(Instr(Opcode.MOV, dst="a", a="b"))
+        assert not is_real(Instr(Opcode.LABEL, label="L"))
+        assert is_control_transfer(Instr(Opcode.JUMP, label="L"))
+        assert not is_control_transfer(Instr(Opcode.CALL, name="f"))
+        assert is_terminator(Instr(Opcode.RET))
+        assert not is_terminator(Instr(Opcode.CONST, dst="t", a=1))
+
+
+class TestILFunction:
+    def test_fresh_names_unique(self):
+        fn = ILFunction("f", [], False)
+        names = {fn.new_temp() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_frame_layout_alignment(self):
+        fn = ILFunction("f", [], False)
+        fn.add_slot("a", 1, 1)
+        fn.add_slot("b", 4, 4)
+        fn.add_slot("c", 2, 1)
+        size = fn.layout_frame()
+        assert fn.slots["b"].offset == 4
+        assert size % 4 == 0
+
+    def test_duplicate_slot_raises(self):
+        fn = ILFunction("f", [], False)
+        fn.add_slot("a", 4)
+        with pytest.raises(ILError):
+            fn.add_slot("a", 4)
+
+    def test_stack_usage_includes_overhead_and_params(self):
+        fn = ILFunction("f", ["p0", "p1"], False)
+        fn.add_slot("buf", 100, 4)
+        fn.layout_frame()
+        assert fn.stack_usage() == CALL_OVERHEAD_BYTES + 100 + 8
+
+    def test_code_size_ignores_labels(self):
+        fn = minimal_function()
+        fn.body.insert(0, Instr(Opcode.LABEL, label="L"))
+        assert fn.code_size() == 1
+
+    def test_clone_independent(self):
+        fn = minimal_function()
+        fn.add_slot("s", 8)
+        clone = fn.clone()
+        clone.body.append(Instr(Opcode.RET))
+        clone.slots["s"].size = 16
+        assert len(fn.body) == 1
+        assert fn.slots["s"].size == 8
+
+
+class TestILModule:
+    def test_site_ids_unique(self):
+        module = ILModule()
+        assert module.new_site_id() != module.new_site_id()
+
+    def test_intern_string_deduplicates(self):
+        module = ILModule()
+        a = module.intern_string("hello")
+        b = module.intern_string("hello")
+        c = module.intern_string("other")
+        assert a == b and a != c
+
+    def test_clone_preserves_site_counter(self):
+        module = minimal_module()
+        module.new_site_id()
+        clone = module.clone()
+        assert clone.new_site_id() == module.new_site_id()
+
+    def test_clone_deep_copies_functions(self):
+        module = minimal_module()
+        clone = module.clone()
+        clone.functions["main"].body.clear()
+        assert len(module.functions["main"].body) == 1
+
+    def test_duplicate_function_raises(self):
+        module = minimal_module()
+        with pytest.raises(ILError):
+            module.add_function(minimal_function("main", returns=True))
+
+    def test_total_code_size(self):
+        module = minimal_module()
+        assert module.total_code_size() == 1
+
+
+class TestVerifier:
+    def test_minimal_module_passes(self):
+        verify_module(minimal_module())
+
+    def test_missing_entry(self):
+        module = ILModule("main")
+        module.add_function(minimal_function("other"))
+        with pytest.raises(ILError, match="entry"):
+            verify_module(module)
+
+    def test_unknown_label(self):
+        module = minimal_module()
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.JUMP, label="nowhere")
+        )
+        with pytest.raises(ILError, match="unknown label"):
+            verify_module(module)
+
+    def test_unknown_frame_slot(self):
+        module = minimal_module()
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.FRAME, dst="t", name="nope")
+        )
+        with pytest.raises(ILError, match="slot"):
+            verify_module(module)
+
+    def test_unknown_global(self):
+        module = minimal_module()
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.GADDR, dst="t", name="nope")
+        )
+        with pytest.raises(ILError, match="global"):
+            verify_module(module)
+
+    def test_unknown_callee(self):
+        module = minimal_module()
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.CALL, name="ghost", site=module.new_site_id())
+        )
+        with pytest.raises(ILError, match="unknown function"):
+            verify_module(module)
+
+    def test_declared_external_callee_ok(self):
+        module = minimal_module()
+        module.declare_external("ghost")
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.CALL, name="ghost", site=module.new_site_id())
+        )
+        verify_module(module)
+
+    def test_arity_mismatch(self):
+        module = minimal_module()
+        module.add_function(minimal_function("g", params=["p0"]))
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.CALL, name="g", args=[], site=module.new_site_id())
+        )
+        with pytest.raises(ILError, match="args"):
+            verify_module(module)
+
+    def test_duplicate_site_ids(self):
+        module = minimal_module()
+        module.add_function(minimal_function("g"))
+        main = module.functions["main"]
+        main.body.insert(0, Instr(Opcode.CALL, name="g", site=7))
+        main.body.insert(0, Instr(Opcode.CALL, name="g", site=7))
+        with pytest.raises(ILError, match="duplicate call-site"):
+            verify_module(module)
+
+    def test_missing_site_id(self):
+        module = minimal_module()
+        module.add_function(minimal_function("g"))
+        module.functions["main"].body.insert(0, Instr(Opcode.CALL, name="g"))
+        with pytest.raises(ILError, match="site"):
+            verify_module(module)
+
+    def test_fall_off_end(self):
+        module = ILModule("main")
+        fn = ILFunction("main", [], True)
+        fn.body.append(Instr(Opcode.CONST, dst="t", a=1))
+        module.add_function(fn)
+        with pytest.raises(ILError, match="fall off"):
+            verify_module(module)
+
+    def test_read_before_write(self):
+        module = minimal_module()
+        module.functions["main"].body.insert(
+            0, Instr(Opcode.MOV, dst="a", a="never_written")
+        )
+        with pytest.raises(ILError, match="before written"):
+            verify_module(module)
+
+
+class TestPrinter:
+    def test_format_covers_all_opcodes(self):
+        module = compile_program(
+            """
+            #include <sys.h>
+            int pick(int (*f)(int x), int v) { return f(v); }
+            int twice(int x) { return x * 2; }
+            int main(void) {
+                int a[4];
+                int i = 0;
+                switch (getchar()) { case 1: i = 1; break; default: i = 2; }
+                a[i] = pick(twice, i);
+                while (i < 3) i++;
+                return a[1];
+            }
+            """,
+            link_libc=False,
+        )
+        text = format_module(module)
+        for fragment in ("call", "icall", "switch", "cjump", "jump",
+                         "load", "store", "frame", "faddr", "ret"):
+            assert fragment in text, fragment
+
+    def test_format_instr_const(self):
+        assert "= const #5" in format_instr(Instr(Opcode.CONST, dst="t", a=5))
+
+    def test_format_function_header(self):
+        fn = minimal_function("f", params=("p0",), returns=True)
+        text = format_function(fn)
+        assert text.startswith("func f(p0) -> value")

@@ -1,0 +1,467 @@
+"""End-to-end language semantics: compile + execute tiny programs.
+
+These tests pin down C semantics through the whole pipeline (lexer →
+parser → sema → lowering → VM), one behaviour each.
+"""
+
+import pytest
+
+from repro.errors import VMTrap
+
+from helpers import c_main, c_output, expr_value, run_c
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1 + 2", 3),
+            ("10 - 4", 6),
+            ("6 * 7", 42),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),  # C truncates toward zero
+            ("7 % 3", 1),
+            ("-7 % 3", -1),
+            ("1 << 4", 16),
+            ("-16 >> 2", -4),  # arithmetic shift
+            ("0xF0 & 0x1F", 16),
+            ("0xF0 | 0x0F", 255),
+            ("0xFF ^ 0x0F", 240),
+            ("~0", -1),
+            ("-(-5)", 5),
+            ("!0", 1),
+            ("!42", 0),
+        ],
+    )
+    def test_operator(self, expression, expected):
+        assert expr_value(expression) == expected
+
+    def test_signed_overflow_wraps(self):
+        assert expr_value("2147483647 + 1") == -2147483648
+
+    def test_multiplication_wraps(self):
+        assert expr_value("65536 * 65536") == 0
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(VMTrap):
+            run_c(c_main("int z = 0; print_int(1 / z);"))
+
+    def test_modulo_by_zero_traps(self):
+        with pytest.raises(VMTrap):
+            run_c(c_main("int z = 0; print_int(1 % z);"))
+
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1 < 2", 1),
+            ("2 < 1", 0),
+            ("2 <= 2", 1),
+            ("3 > 2", 1),
+            ("2 >= 3", 0),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+            ("-1 < 0", 1),
+        ],
+    )
+    def test_comparison(self, expression, expected):
+        assert expr_value(expression) == expected
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        out = c_output(
+            c_main(
+                "int hit = 0;",
+                prelude="int side(int *p) { *p = 1; return 1; }",
+            ).replace(
+                "int hit = 0;",
+                "int hit = 0; int r = 0 && side(&hit);"
+                " print_int(hit); print_int(r);",
+            )
+        )
+        assert out == "00"
+
+    def test_or_skips_rhs(self):
+        source = c_main(
+            "int hit = 0; int r = 1 || side(&hit);"
+            " print_int(hit); print_int(r);",
+            prelude="int side(int *p) { *p = 1; return 0; }",
+        )
+        assert c_output(source) == "01"
+
+    def test_and_evaluates_rhs_when_needed(self):
+        source = c_main(
+            "int hit = 0; int r = 1 && side(&hit);"
+            " print_int(hit); print_int(r);",
+            prelude="int side(int *p) { *p = 1; return 7; }",
+        )
+        assert c_output(source) == "11"  # && normalizes to 1
+
+    def test_conditional_evaluates_one_branch(self):
+        source = c_main(
+            "int a = 0; int b = 0;"
+            " int r = 1 ? set(&a) : set(&b);"
+            " print_int(a); print_int(b); print_int(r);",
+            prelude="int set(int *p) { *p = 1; return 9; }",
+        )
+        assert c_output(source) == "109"
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = c_main(
+            "int x = 5;"
+            " if (x < 0) print_int(0);"
+            " else if (x == 5) print_int(1);"
+            " else print_int(2);"
+        )
+        assert c_output(source) == "1"
+
+    def test_while_loop(self):
+        assert c_output(c_main(
+            "int i = 0; int s = 0; while (i < 5) { s += i; i++; } print_int(s);"
+        )) == "10"
+
+    def test_do_while_runs_once(self):
+        assert c_output(c_main(
+            "int n = 0; do { n++; } while (0); print_int(n);"
+        )) == "1"
+
+    def test_for_loop(self):
+        assert c_output(c_main(
+            "int s = 0; int i; for (i = 1; i <= 4; i++) s *= 10, s += i;"
+            " print_int(s);"
+        )) == "1234"
+
+    def test_break(self):
+        assert c_output(c_main(
+            "int i; for (i = 0; i < 100; i++) { if (i == 3) break; }"
+            " print_int(i);"
+        )) == "3"
+
+    def test_continue(self):
+        assert c_output(c_main(
+            "int s = 0; int i;"
+            " for (i = 0; i < 5; i++) { if (i % 2) continue; s += i; }"
+            " print_int(s);"
+        )) == "6"
+
+    def test_nested_break_only_inner(self):
+        assert c_output(c_main(
+            "int count = 0; int i; int j;"
+            " for (i = 0; i < 3; i++)"
+            "   for (j = 0; j < 10; j++) { if (j == 2) break; count++; }"
+            " print_int(count);"
+        )) == "6"
+
+    def test_switch_dispatch(self):
+        source = c_main(
+            "int i; for (i = 0; i < 5; i++) {"
+            " switch (i) {"
+            " case 0: print_int(10); break;"
+            " case 2: print_int(12); break;"
+            " default: print_int(99); break;"
+            " } }"
+        )
+        assert c_output(source) == "1099129999"
+
+    def test_switch_fallthrough(self):
+        source = c_main(
+            "switch (1) { case 1: print_int(1); case 2: print_int(2); break;"
+            " case 3: print_int(3); }"
+        )
+        assert c_output(source) == "12"
+
+    def test_switch_break_in_loop(self):
+        source = c_main(
+            "int i; for (i = 0; i < 3; i++) {"
+            " switch (i) { case 1: break; default: print_int(i); } }"
+        )
+        assert c_output(source) == "02"
+
+
+class TestPointersAndArrays:
+    def test_address_and_dereference(self):
+        assert c_output(c_main(
+            "int a = 5; int *p = &a; *p = 7; print_int(a);"
+        )) == "7"
+
+    def test_array_indexing(self):
+        assert c_output(c_main(
+            "int a[4]; int i; for (i = 0; i < 4; i++) a[i] = i * i;"
+            " print_int(a[3]);"
+        )) == "9"
+
+    def test_pointer_arithmetic_scaling(self):
+        assert c_output(c_main(
+            "int a[3]; int *p = a; a[0] = 1; a[1] = 2; a[2] = 3;"
+            " print_int(*(p + 2));"
+        )) == "3"
+
+    def test_pointer_difference(self):
+        assert c_output(c_main(
+            "int a[10]; int *p = &a[7]; int *q = &a[2]; print_int(p - q);"
+        )) == "5"
+
+    def test_char_pointer_walk(self):
+        assert c_output(c_main(
+            'char *s = "abc"; int n = 0; while (*s) { n++; s++; } print_int(n);'
+        )) == "3"
+
+    def test_pointer_increment_in_deref(self):
+        assert c_output(c_main(
+            'char *s = "xy"; print_int(*s++); print_int(*s);'
+        )) == f"{ord('x')}{ord('y')}"
+
+    def test_2d_array(self):
+        assert c_output(c_main(
+            "int m[2][3]; int i; int j;"
+            " for (i = 0; i < 2; i++) for (j = 0; j < 3; j++) m[i][j] = i * 3 + j;"
+            " print_int(m[1][2]);"
+        )) == "5"
+
+    def test_array_decay_to_function(self):
+        source = c_main(
+            "int a[3]; a[0] = 4; a[1] = 5; a[2] = 6; print_int(total(a, 3));",
+            prelude="int total(int *p, int n) { int s = 0; int i;"
+            " for (i = 0; i < n; i++) s += p[i]; return s; }",
+        )
+        assert c_output(source) == "15"
+
+    def test_null_deref_traps(self):
+        with pytest.raises(VMTrap):
+            run_c(c_main("int *p = 0; print_int(*p);"))
+
+    def test_negative_address_traps(self):
+        with pytest.raises(VMTrap):
+            run_c(c_main("int *p = (int *)(0 - 64); *p = 1;"))
+
+    def test_local_array_initializer(self):
+        assert c_output(c_main(
+            "int a[3] = {7, 8}; print_int(a[0] + a[1] + a[2]);"
+        )) == "15"
+
+    def test_local_string_initializer(self):
+        assert c_output(c_main(
+            'char s[8] = "hi"; print_str(s);'
+        )) == "hi"
+
+
+class TestChars:
+    def test_char_truncation(self):
+        assert c_output(c_main("char c = 300; print_int(c);")) == "44"
+
+    def test_char_sign_extension(self):
+        assert c_output(c_main("char c = 200; print_int(c);")) == "-56"
+
+    def test_char_array_round_trip(self):
+        assert c_output(c_main(
+            "char buf[4]; buf[0] = 'A'; buf[1] = buf[0] + 1; buf[2] = 0;"
+            " print_str(buf);"
+        )) == "AB"
+
+    def test_cast_to_char(self):
+        assert expr_value("(char)0x1FF") == -1
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = c_main(
+            "print_int(fact(6));",
+            prelude="int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }",
+        )
+        assert c_output(source) == "720"
+
+    def test_mutual_recursion(self):
+        source = c_main(
+            "print_int(is_even(10)); print_int(is_odd(10));",
+            prelude=(
+                "int is_odd(int n);"
+                "int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }"
+                "int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }"
+            ),
+        )
+        assert c_output(source) == "10"
+
+    def test_arguments_by_value(self):
+        source = c_main(
+            "int x = 1; bump(x); print_int(x);",
+            prelude="void bump(int v) { v = 99; }",
+        )
+        assert c_output(source) == "1"
+
+    def test_out_parameter(self):
+        source = c_main(
+            "int x = 1; bump(&x); print_int(x);",
+            prelude="void bump(int *v) { *v = 99; }",
+        )
+        assert c_output(source) == "99"
+
+    def test_function_pointer_call(self):
+        source = c_main(
+            "int (*op)(int a, int b) = add; print_int(op(2, 3));"
+            " op = mul; print_int(op(2, 3));",
+            prelude=(
+                "int add(int a, int b) { return a + b; }"
+                "int mul(int a, int b) { return a * b; }"
+            ),
+        )
+        assert c_output(source) == "56"
+
+    def test_function_pointer_table(self):
+        source = c_main(
+            "int i; for (i = 0; i < 2; i++) print_int(ops[i](6, 3));",
+            prelude=(
+                "int add(int a, int b) { return a + b; }"
+                "int sub(int a, int b) { return a - b; }"
+                "int (*ops[2])(int a, int b) = {add, sub};"
+            ),
+        )
+        assert c_output(source) == "93"
+
+    def test_deep_recursion_overflows(self):
+        source = c_main(
+            "print_int(deep(1000000));",
+            prelude=(
+                "int deep(int n) { char pad[512];"
+                " pad[0] = n; if (n <= 0) return pad[0];"
+                " return deep(n - 1); }"
+            ),
+        )
+        with pytest.raises(VMTrap, match="stack overflow"):
+            run_c(source)
+
+
+class TestGlobals:
+    def test_scalar_initializer(self):
+        assert c_output(c_main("print_int(g);", prelude="int g = 42;")) == "42"
+
+    def test_zero_initialized_by_default(self):
+        assert c_output(c_main("print_int(g);", prelude="int g;")) == "0"
+
+    def test_array_initializer(self):
+        source = c_main(
+            "print_int(t[0] + t[1] + t[4]);",
+            prelude="int t[5] = {10, 20, 30};",
+        )
+        assert c_output(source) == "30"
+
+    def test_string_global(self):
+        source = c_main("print_str(msg);", prelude='char msg[] = "hey";')
+        assert c_output(source) == "hey"
+
+    def test_pointer_to_string_global(self):
+        source = c_main("print_str(msg);", prelude='char *msg = "yo";')
+        assert c_output(source) == "yo"
+
+    def test_global_modified_across_calls(self):
+        source = c_main(
+            "tick(); tick(); tick(); print_int(count);",
+            prelude="int count = 0; void tick(void) { count++; }",
+        )
+        assert c_output(source) == "3"
+
+    def test_constant_expression_initializer(self):
+        source = c_main("print_int(g);", prelude="int g = (3 + 4) * 2;")
+        assert c_output(source) == "14"
+
+
+class TestStructsAtRuntime:
+    def test_field_store_load(self):
+        source = c_main(
+            "struct point p; p.x = 3; p.y = 4;"
+            " print_int(p.x * p.x + p.y * p.y);",
+            prelude="struct point { int x; int y; };",
+        )
+        assert c_output(source) == "25"
+
+    def test_struct_pointer_arrow(self):
+        source = c_main(
+            "struct point p; init(&p); print_int(p.y);",
+            prelude=(
+                "struct point { int x; int y; };"
+                "void init(struct point *p) { p->x = 1; p->y = 2; }"
+            ),
+        )
+        assert c_output(source) == "2"
+
+    def test_struct_assignment_copies(self):
+        source = c_main(
+            "struct pair a; struct pair b; a.lo = 1; a.hi = 2;"
+            " b = a; a.lo = 9; print_int(b.lo); print_int(b.hi);",
+            prelude="struct pair { int lo; int hi; };",
+        )
+        assert c_output(source) == "12"
+
+    def test_struct_with_char_fields_layout(self):
+        source = c_main(
+            "print_int(sizeof(struct mix));",
+            prelude="struct mix { char c; int i; char d; };",
+        )
+        assert c_output(source) == "12"  # 1 + pad3 + 4 + 1 + pad3
+
+    def test_linked_list(self):
+        source = c_main(
+            "struct node a; struct node b; a.value = 1; b.value = 2;"
+            " a.next = &b; b.next = 0;"
+            " { struct node *p = &a; int s = 0;"
+            "   while (p) { s += p->value; p = p->next; } print_int(s); }",
+            prelude="struct node { int value; struct node *next; };",
+        )
+        assert c_output(source) == "3"
+
+    def test_array_of_structs(self):
+        source = c_main(
+            "struct item v[3]; int i;"
+            " for (i = 0; i < 3; i++) { v[i].id = i; v[i].score = i * 10; }"
+            " print_int(v[2].score + v[1].id);",
+            prelude="struct item { int id; int score; };",
+        )
+        assert c_output(source) == "21"
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("sizeof(int)", 4),
+            ("sizeof(char)", 1),
+            ("sizeof(int *)", 4),
+            ("sizeof(char *)", 4),
+        ],
+    )
+    def test_sizeof_types(self, expression, expected):
+        assert expr_value(expression) == expected
+
+    def test_sizeof_array_variable(self):
+        assert c_output(c_main("int a[10]; print_int(sizeof a);")) == "40"
+
+
+class TestIncrementDecrement:
+    def test_post_increment_value(self):
+        assert c_output(c_main("int a = 5; print_int(a++); print_int(a);")) == "56"
+
+    def test_pre_increment_value(self):
+        assert c_output(c_main("int a = 5; print_int(++a); print_int(a);")) == "66"
+
+    def test_post_decrement_on_array_element(self):
+        assert c_output(c_main(
+            "int a[2]; a[1] = 3; print_int(a[1]--); print_int(a[1]);"
+        )) == "32"
+
+    def test_pointer_increment_scales(self):
+        assert c_output(c_main(
+            "int a[2]; int *p = a; a[0] = 1; a[1] = 2; p++; print_int(*p);"
+        )) == "2"
+
+    def test_compound_assignment_all(self):
+        source = c_main(
+            "int a = 100;"
+            " a += 5; a -= 1; a *= 2; a /= 4; a %= 13;"
+            " a <<= 3; a &= 60; a |= 3; a ^= 1; a >>= 1;"
+            " print_int(a);"
+        )
+        a = 100
+        a += 5; a -= 1; a *= 2; a //= 4; a %= 13
+        a <<= 3; a &= 60; a |= 3; a ^= 1; a >>= 1
+        assert c_output(source) == str(a)

@@ -1,0 +1,157 @@
+"""Tests for loop-invariant code motion."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.compiler import compile_program
+from repro.il.instructions import Opcode
+from repro.il.verifier import verify_module
+from repro.opt import licm_function, licm_module
+from repro.profiler.profile import RunSpec, run_once
+
+from helpers import c_main
+
+
+def compiled(source):
+    return compile_program(source)
+
+
+class TestBasicHoisting:
+    def test_invariant_expression_hoisted(self):
+        source = c_main(
+            "int base = getchar() + 1; int s = 0; int i;"
+            " for (i = 0; i < 40; i++) s += base * 3 + 7;"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        before = run_once(module)
+        moved = licm_module(module)
+        verify_module(module)
+        after = run_once(module)
+        assert moved > 0
+        assert after.stdout == before.stdout
+        assert after.counters.il < before.counters.il
+
+    def test_variant_expression_stays(self):
+        source = c_main(
+            "int s = 0; int i;"
+            " for (i = 0; i < 10; i++) s += i * i;"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        before = run_once(module)
+        licm_module(module)
+        verify_module(module)
+        assert run_once(module).stdout == before.stdout == "285"
+
+    def test_division_never_hoisted(self):
+        # Hoisting the division would trap on the zero-trip path.
+        source = c_main(
+            "int d = getchar() + 1; int s = 0; int i;"  # d == 0 on EOF
+            " for (i = 0; i < 0; i++) s += 100 / d;"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        licm_module(module)
+        result = run_once(module)  # empty stdin: d == 0, loop never runs
+        assert result.exit_code == 0
+        assert result.stdout == "0"
+
+    def test_loads_never_hoisted(self):
+        source = c_main(
+            "int cell[1]; int s = 0; int i; cell[0] = 1;"
+            " for (i = 0; i < 5; i++) { s += cell[0]; cell[0] = s; }"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        before = run_once(module).stdout
+        licm_module(module)
+        assert run_once(module).stdout == before
+
+    def test_zero_trip_loop_semantics_preserved(self):
+        source = c_main(
+            "int n = getchar(); int s = 9; int i;"  # n == -1: loop skipped
+            " for (i = 0; i < n; i++) s = 5 * 4;"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        licm_module(module)
+        # Hoisted computations may execute, but s is only written inside
+        # the loop body, which never runs.
+        assert run_once(module).stdout == "9"
+
+    def test_nested_loop_invariant(self):
+        source = c_main(
+            "int a = getchar() + 2; int s = 0; int i; int j;"
+            " for (i = 0; i < 6; i++)"
+            "   for (j = 0; j < 6; j++) s += a * 5;"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        before = run_once(module)
+        licm_module(module)
+        after = run_once(module)
+        assert after.stdout == before.stdout
+        assert after.counters.il < before.counters.il
+
+    def test_idempotent_fixpoint(self):
+        source = c_main(
+            "int a = getchar() + 1; int s = 0; int i;"
+            " for (i = 0; i < 8; i++) s += a * 2;"
+            " print_int(s);"
+        )
+        module = compiled(source)
+        licm_module(module)
+        again = sum(
+            licm_function(fn) for fn in module.functions.values()
+        )
+        assert again == 0
+
+
+class TestOnBenchmarks:
+    def test_all_benchmarks_preserved(self):
+        from repro.workloads import benchmark_suite
+
+        for benchmark in benchmark_suite():
+            module = benchmark.compile()
+            spec = benchmark.make_runs("small")[0]
+            before = run_once(module, spec)
+            licm_module(module)
+            verify_module(module)
+            after = run_once(module, spec)
+            assert after.stdout == before.stdout, benchmark.name
+            assert after.counters.il <= before.counters.il, benchmark.name
+
+
+@st.composite
+def loop_program(draw):
+    """Random loop bodies mixing invariant and variant computations."""
+    constant = draw(st.integers(min_value=-50, max_value=50))
+    iterations = draw(st.integers(min_value=0, max_value=20))
+    op1 = draw(st.sampled_from(("+", "*", "^", "&", "|")))
+    op2 = draw(st.sampled_from(("+", "-", "*")))
+    use_variant = draw(st.booleans())
+    variant_term = f" + (i {op2} 3)" if use_variant else ""
+    return c_main(
+        f"int base = getchar() + {constant}; int s = 0; int i;"
+        f" for (i = 0; i < {iterations}; i++)"
+        f" s += (base {op1} {abs(constant) + 1}){variant_term};"
+        " print_int(s);"
+    )
+
+
+class TestLICMProperty:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(loop_program(), st.binary(max_size=3))
+    def test_licm_preserves_output(self, source, stdin):
+        module = compiled(source)
+        spec = RunSpec(stdin=stdin)
+        before = run_once(module, spec)
+        moved = licm_module(module)
+        verify_module(module)
+        after = run_once(module, spec)
+        assert after.stdout == before.stdout
+        # Zero-trip loops may *pay* for the hoisted instructions once;
+        # any loop that runs at least twice must come out ahead.
+        assert after.counters.il <= before.counters.il + moved

@@ -1,0 +1,189 @@
+"""Unit tests for AST-to-IL lowering (IL structure, not just behaviour)."""
+
+from repro.compiler import compile_program
+from repro.il.instructions import Opcode
+
+
+def lowered(source, name="main"):
+    return compile_program(source, link_libc=False).functions[name]
+
+
+def ops(function):
+    return [instr.op for instr in function.body]
+
+
+def count(function, opcode):
+    return sum(1 for instr in function.body if instr.op is opcode)
+
+
+class TestStorageAssignment:
+    def test_scalar_local_in_register(self):
+        fn = lowered("int main(void) { int a = 1; return a; }")
+        assert fn.slots == {}
+
+    def test_address_taken_local_gets_slot(self):
+        fn = lowered("int main(void) { int a = 1; int *p = &a; return *p; }")
+        assert len(fn.slots) == 1
+        assert count(fn, Opcode.FRAME) >= 1
+
+    def test_array_gets_slot(self):
+        fn = lowered("int main(void) { int a[8]; a[0] = 1; return a[0]; }")
+        [slot] = fn.slots.values()
+        assert slot.size == 32
+
+    def test_struct_gets_slot(self):
+        fn = lowered(
+            "struct p { int x; int y; };"
+            "int main(void) { struct p v; v.x = 1; return v.x; }"
+        )
+        [slot] = fn.slots.values()
+        assert slot.size == 8
+
+    def test_address_taken_param_spilled(self):
+        fn = lowered(
+            "int f(int x) { int *p = &x; return *p; }"
+            "int main(void) { return f(0); }",
+            name="f",
+        )
+        assert len(fn.slots) == 1
+        # Entry spill: a FRAME then STORE before anything else.
+        assert fn.body[0].op is Opcode.FRAME
+        assert fn.body[1].op is Opcode.STORE
+
+    def test_frame_laid_out(self):
+        fn = lowered(
+            "int main(void) { char a[3]; int b[2]; a[0] = 1; b[0] = 2;"
+            " return a[0] + b[0]; }"
+        )
+        offsets = sorted(slot.offset for slot in fn.slots.values())
+        assert offsets[0] == 0
+        assert fn.frame_size % 4 == 0
+
+
+class TestCallLowering:
+    def test_direct_call_opcode(self):
+        fn = lowered(
+            "int g(int x) { return x; } int main(void) { return g(1); }"
+        )
+        assert count(fn, Opcode.CALL) == 1
+        assert count(fn, Opcode.ICALL) == 0
+
+    def test_indirect_call_opcode(self):
+        fn = lowered(
+            "int g(int x) { return x; }"
+            "int main(void) { int (*p)(int v) = g; return p(1); }"
+        )
+        assert count(fn, Opcode.ICALL) == 1
+
+    def test_unique_site_ids(self):
+        module = compile_program(
+            "int g(int x) { return x; }"
+            "int main(void) { return g(1) + g(2) + g(3); }",
+            link_libc=False,
+        )
+        sites = [instr.site for _, instr in module.call_sites()]
+        assert len(sites) == len(set(sites)) == 3
+
+    def test_void_call_has_no_dst(self):
+        fn = lowered(
+            "void g(void) { return; } int main(void) { g(); return 0; }"
+        )
+        [call] = [i for i in fn.body if i.op is Opcode.CALL]
+        assert call.dst is None
+
+    def test_value_call_has_dst(self):
+        fn = lowered(
+            "int g(void) { return 1; } int main(void) { return g(); }"
+        )
+        [call] = [i for i in fn.body if i.op is Opcode.CALL]
+        assert call.dst is not None
+
+
+class TestControlLowering:
+    def test_if_produces_cjump(self):
+        fn = lowered("int main(void) { int a = 0; if (a) a = 1; return a; }")
+        assert count(fn, Opcode.CJUMP) == 1
+
+    def test_short_circuit_produces_branches(self):
+        fn = lowered(
+            "int main(void) { int a = 1; int b = 2; return a && b; }"
+        )
+        assert count(fn, Opcode.CJUMP) == 2
+
+    def test_switch_opcode(self):
+        fn = lowered(
+            "int main(void) { int a = 1;"
+            " switch (a) { case 1: return 1; default: return 2; } }"
+        )
+        [switch] = [i for i in fn.body if i.op is Opcode.SWITCH]
+        assert dict(switch.cases) and switch.label2 is not None
+
+    def test_fallback_return_appended(self):
+        fn = lowered("void main_helper(void) { }"
+                     "int main(void) { main_helper(); return 0; }",
+                     name="main_helper")
+        assert fn.body[-1].op is Opcode.RET
+
+
+class TestDataLowering:
+    def test_string_literal_interned_as_global(self):
+        module = compile_program(
+            '#include <sys.h>\nint main(void) { print_str("hi"); return 0; }',
+            link_libc=False,
+        )
+        assert any(name.startswith(".str") for name in module.globals)
+
+    def test_identical_strings_shared(self):
+        module = compile_program(
+            "#include <sys.h>\n"
+            'int main(void) { print_str("dup"); print_str("dup"); return 0; }',
+            link_libc=False,
+        )
+        strings = [n for n in module.globals if n.startswith(".str")]
+        assert len(strings) == 1
+
+    def test_global_initializer_items(self):
+        module = compile_program(
+            "int t[3] = {1, 2, 3}; int main(void) { return t[0]; }",
+            link_libc=False,
+        )
+        assert len(module.globals["t"].init) == 3
+
+    def test_function_pointer_global_init(self):
+        module = compile_program(
+            "int f(int x) { return x; }"
+            "int (*p)(int x) = f;"
+            "int main(void) { return p(0); }",
+            link_libc=False,
+        )
+        [item] = module.globals["p"].init
+        assert item.kind == "faddr" and item.symbol == "f"
+
+    def test_address_taken_set_populated(self):
+        module = compile_program(
+            "int f(int x) { return x; }"
+            "int main(void) { int (*p)(int v) = f; return p(0); }",
+            link_libc=False,
+        )
+        assert "f" in module.address_taken
+
+    def test_char_load_uses_size_1(self):
+        fn = lowered(
+            'int main(void) { char *s = "a"; return s[0]; }'
+        )
+        loads = [i for i in fn.body if i.op is Opcode.LOAD]
+        assert any(load.size == 1 for load in loads)
+
+    def test_pointer_arith_scaled_by_element(self):
+        fn = lowered(
+            "int main(void) { int a[4]; int *p = a; return *(p + 3); }"
+        )
+        # The +3 must be scaled: a multiply by 4 or a pre-scaled
+        # constant 12 must feed the address addition.
+        scaled = any(
+            (i.op is Opcode.BIN and i.op2 == "*")
+            or (i.op is Opcode.BIN and i.op2 == "+" and 12 in (i.a, i.b))
+            or (i.op is Opcode.CONST and i.a == 12)
+            for i in fn.body
+        )
+        assert scaled

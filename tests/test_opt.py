@@ -1,0 +1,244 @@
+"""Unit tests for the optimizer passes."""
+
+from repro.compiler import compile_program
+from repro.il.instructions import Opcode
+from repro.il.verifier import verify_module
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    optimize_module,
+    optimize_jumps,
+    propagate_copies,
+)
+from repro.profiler.profile import run_once
+
+from helpers import c_main, c_output
+
+
+def compiled(source):
+    return compile_program(source, link_libc=False)
+
+
+def op_count(function, opcode):
+    return sum(1 for instr in function.body if instr.op is opcode)
+
+
+SIMPLE = """
+#include <sys.h>
+int main(void) {
+    int a = 2 + 3;
+    int b = a * 4;
+    print_int(b);
+    return 0;
+}
+"""
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic_chain(self):
+        module = compiled(SIMPLE)
+        main = module.functions["main"]
+        fold_constants(main)
+        # b's value is known at compile time; the print argument
+        # becomes a constant after folding + the later DCE round.
+        bins = [i for i in main.body if i.op is Opcode.BIN]
+        assert bins == []
+
+    def test_execution_unchanged(self):
+        module = compiled(SIMPLE)
+        before = run_once(module).stdout
+        fold_constants(module.functions["main"])
+        verify_module(module)
+        assert run_once(module).stdout == before == "20"
+
+    def test_constant_branch_becomes_jump(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { if (1) print_int(1); else print_int(2); return 0; }"
+        )
+        main = module.functions["main"]
+        fold_constants(main)
+        assert op_count(main, Opcode.CJUMP) == 0
+        assert run_once(module).stdout == "1"
+
+    def test_constant_switch_becomes_jump(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { switch (2) { case 1: print_int(1); break;"
+            " case 2: print_int(2); break; } return 0; }"
+        )
+        main = module.functions["main"]
+        fold_constants(main)
+        assert op_count(main, Opcode.SWITCH) == 0
+        assert run_once(module).stdout == "2"
+
+    def test_division_by_zero_left_for_runtime(self):
+        module = compiled(
+            "int main(void) { int z = 1 / 0 * 0; return z; }"
+        )
+        main = module.functions["main"]
+        fold_constants(main)
+        assert op_count(main, Opcode.BIN) >= 1  # the division survives
+
+    def test_facts_killed_at_labels(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { int a = 1; int i;"
+            " for (i = 0; i < 3; i++) a = a * 2;"
+            " print_int(a); return 0; }"
+        )
+        main = module.functions["main"]
+        fold_constants(main)
+        assert run_once(module).stdout == "8"
+
+
+class TestCopyPropagation:
+    def test_copies_propagated(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { int a = getchar(); int b = a; int c = b;"
+            " print_int(c); return 0; }"
+        )
+        main = module.functions["main"]
+        changed = propagate_copies(main)
+        assert changed > 0
+        assert run_once(module).exit_code == 0
+
+    def test_copy_killed_by_redefinition(self):
+        source = (
+            "#include <sys.h>\n"
+            "int main(void) { int a = getchar(); int b = a;"
+            " a = 99; print_int(b); return 0; }"
+        )
+        module = compiled(source)
+        before = run_once(module, ).stdout
+        propagate_copies(module.functions["main"])
+        verify_module(module)
+        assert run_once(module).stdout == before
+
+
+class TestDeadCodeElimination:
+    def test_unused_definition_removed(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { int unused = getchar() + 5; return 0; }"
+        )
+        main = module.functions["main"]
+        size_before = main.code_size()
+        removed = eliminate_dead_code(main)
+        assert removed > 0
+        assert main.code_size() < size_before
+
+    def test_calls_never_removed(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { int unused = getchar(); return 0; }"
+        )
+        main = module.functions["main"]
+        eliminate_dead_code(main)
+        assert op_count(main, Opcode.CALL) == 1
+
+    def test_cascading_removal(self):
+        module = compiled(
+            "int main(void) { int a = 1; int b = a + 2; int c = b * 3;"
+            " return 0; }"
+        )
+        main = module.functions["main"]
+        eliminate_dead_code(main)
+        # Only returns remain: the explicit one plus the unreachable
+        # fallback return the lowering appends.
+        assert all(i.op is Opcode.RET for i in main.body)
+        assert main.code_size() <= 2
+
+    def test_stores_kept(self):
+        module = compiled(
+            "int g; int main(void) { g = 5; return 0; }"
+        )
+        main = module.functions["main"]
+        eliminate_dead_code(main)
+        assert op_count(main, Opcode.STORE) == 1
+
+
+class TestJumpOptimization:
+    def test_jump_to_next_removed(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { if (getchar()) print_int(1); return 0; }"
+        )
+        main = module.functions["main"]
+        optimize_jumps(main)
+        verify_module(module)
+
+    def test_jump_threading(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { int x = getchar() - 60;"
+            " while (x) { if (x == 1) break; x--; }"
+            " print_int(x); return 0; }"
+        )
+        from repro.profiler.profile import RunSpec
+
+        spec = RunSpec(stdin=b"A")  # x starts at 5
+        before = run_once(module, spec).stdout
+        main = module.functions["main"]
+        optimize_jumps(main)
+        optimize_jumps(main)
+        verify_module(module)
+        assert run_once(module, spec).stdout == before == "1"
+
+    def test_unreachable_code_swept(self):
+        module = compiled(
+            "#include <sys.h>\n"
+            "int main(void) { return 0; print_int(9); return 1; }"
+        )
+        main = module.functions["main"]
+        optimize_jumps(main)
+        assert op_count(main, Opcode.CALL) == 0
+        assert main.code_size() == 1
+
+
+class TestPipeline:
+    def test_reaches_fixpoint(self):
+        module = compiled(SIMPLE)
+        stats = optimize_function(module.functions["main"])
+        assert stats.rounds >= 1
+        again = optimize_function(module.functions["main"])
+        assert again.total_changes == 0
+
+    def test_module_wide_preserves_output(self):
+        source = c_main(
+            "int i; int total = 0;"
+            " for (i = 0; i < 10; i++) total += work(i);"
+            " print_int(total);",
+            prelude=(
+                "int work(int x) { int twice = x * 2; int bias = 3;"
+                " if (x > 100) return 0; return twice + bias; }"
+            ),
+        )
+        module = compile_program(source)
+        before = run_once(module).stdout
+        stats = optimize_module(module)
+        verify_module(module)
+        assert stats.total_changes > 0
+        assert run_once(module).stdout == before
+
+    def test_optimizer_reduces_dynamic_instructions(self):
+        module = compile_program(SIMPLE)
+        before = run_once(module).counters.il
+        optimize_module(module)
+        after = run_once(module).counters.il
+        assert after <= before
+
+    def test_all_benchmarks_survive_optimization(self):
+        # A cheap cross-check: libc + a program with every construct.
+        source = c_main(
+            "int i; char buf[16];"
+            " for (i = 0; i < 3; i++) { itoa(i * 7, buf); print_str(buf); }"
+            " print_int(strcmp(\"a\", \"b\") < 0);"
+        )
+        module = compile_program(source)
+        before = run_once(module).stdout
+        optimize_module(module)
+        verify_module(module)
+        assert run_once(module).stdout == before

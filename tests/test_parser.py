@@ -1,0 +1,291 @@
+"""Unit tests for the parser (AST structure, not execution)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse_translation_unit as parse
+from repro.frontend.typesys import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+)
+
+
+def first_fn(text):
+    return parse(text).functions[0]
+
+
+def main_body(statements):
+    return first_fn(f"int main(void) {{ {statements} }}").body.statements
+
+
+def first_expr(statements):
+    stmt = main_body(statements)[0]
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+class TestTopLevel:
+    def test_empty_unit(self):
+        unit = parse("")
+        assert unit.functions == [] and unit.globals == []
+
+    def test_function_definition(self):
+        fn = first_fn("int add(int a, int b) { return a + b; }")
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert fn.signature.type.return_type == IntType(4)
+
+    def test_void_parameter_list(self):
+        fn = first_fn("int f(void) { return 0; }")
+        assert fn.params == []
+
+    def test_prototype_recorded(self):
+        unit = parse("int f(int x);")
+        assert "f" in unit.declared_only
+        assert unit.functions == []
+
+    def test_global_variable(self):
+        unit = parse("int counter = 3;")
+        assert unit.globals[0].name == "counter"
+
+    def test_global_array(self):
+        unit = parse("int table[10];")
+        assert unit.globals[0].var_type == ArrayType(IntType(4), 10)
+
+    def test_global_2d_array(self):
+        unit = parse("char grid[3][5];")
+        grid = unit.globals[0].var_type
+        assert grid == ArrayType(ArrayType(IntType(1), 5), 3)
+
+    def test_unsized_array_from_initializer(self):
+        unit = parse("int t[] = {1, 2, 3};")
+        assert unit.globals[0].var_type.length == 3
+
+    def test_unsized_char_array_from_string(self):
+        unit = parse('char s[] = "hi";')
+        assert unit.globals[0].var_type.length == 3  # includes NUL
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b = 2, *p;")
+        assert [g.name for g in unit.globals] == ["a", "b", "p"]
+        assert unit.globals[2].var_type == PointerType(IntType(4))
+
+    def test_inline_keyword_sets_hint(self):
+        fn = first_fn("inline int f(void) { return 1; }")
+        assert fn.inline_hint
+
+    def test_static_and_extern_tolerated(self):
+        fn = first_fn("static int f(void) { return 1; }")
+        assert not fn.inline_hint
+
+
+class TestStructs:
+    def test_struct_definition(self):
+        unit = parse("struct point { int x; int y; };")
+        struct = unit.structs["point"]
+        assert isinstance(struct, StructType)
+        assert struct.field("y").offset == 4
+
+    def test_struct_usage_in_function(self):
+        text = (
+            "struct p { int x; int y; };"
+            "int f(struct p *q) { return q->x; }"
+        )
+        fn = parse(text).functions[0]
+        assert isinstance(fn.params[0].param_type, PointerType)
+
+    def test_struct_with_array_member(self):
+        unit = parse("struct buf { char data[16]; int len; };")
+        struct = unit.structs["buf"]
+        assert struct.field("len").offset == 16
+
+    def test_struct_redefinition_raises(self):
+        with pytest.raises(ParseError):
+            parse("struct a { int x; }; struct a { int y; };")
+
+    def test_nested_struct_pointer(self):
+        unit = parse(
+            "struct node { int value; struct node *next; };"
+        )
+        node = unit.structs["node"]
+        assert node.field("next").type == PointerType(node)
+
+
+class TestFunctionPointers:
+    def test_function_pointer_declarator(self):
+        unit = parse("int (*handler)(int a, int b);")
+        var_type = unit.globals[0].var_type
+        assert isinstance(var_type, PointerType)
+        assert isinstance(var_type.pointee, FunctionType)
+        assert len(var_type.pointee.param_types) == 2
+
+    def test_function_pointer_array(self):
+        unit = parse("int (*table[4])(int x);")
+        var_type = unit.globals[0].var_type
+        assert isinstance(var_type, ArrayType)
+        assert var_type.length == 4
+
+    def test_function_pointer_parameter(self):
+        fn = first_fn("int apply(int (*f)(int v), int x) { return f(x); }")
+        param = fn.params[0].param_type
+        assert isinstance(param, PointerType)
+        assert isinstance(param.pointee, FunctionType)
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = main_body("if (1) ; else ;")[0]
+        assert isinstance(stmt, ast.If) and stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = main_body("if (1) if (2) ; else ;")[0]
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_while(self):
+        assert isinstance(main_body("while (0) ;")[0], ast.While)
+
+    def test_do_while(self):
+        assert isinstance(main_body("do ; while (0);")[0], ast.DoWhile)
+
+    def test_for_all_clauses(self):
+        stmt = main_body("for (1; 2; 3) ;")[0]
+        assert stmt.init is not None and stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        stmt = main_body("for (;;) break;")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_with_declaration(self):
+        stmt = main_body("for (int i = 0; i < 3; i++) ;")[0]
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_switch_cases(self):
+        stmt = main_body(
+            "switch (1) { case 1: break; case 2: case 3: break; default: break; }"
+        )[0]
+        assert isinstance(stmt, ast.Switch)
+        values = [case.value for case in stmt.cases]
+        assert values == [1, 2, 3, None]
+
+    def test_switch_duplicate_case_raises(self):
+        with pytest.raises(ParseError):
+            main_body("switch (1) { case 1: break; case 1: break; }")
+
+    def test_declarations_in_block(self):
+        statements = main_body("int a = 1; char c; a = 2;")
+        assert isinstance(statements[0], ast.DeclStmt)
+        assert isinstance(statements[1], ast.DeclStmt)
+
+    def test_return_value(self):
+        stmt = main_body("return 5;")[0]
+        assert isinstance(stmt, ast.Return)
+        assert isinstance(stmt.value, ast.IntLiteral)
+
+    def test_empty_statement(self):
+        assert isinstance(main_body(";")[0], ast.EmptyStmt)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = first_expr("1 + 2 * 3;")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = first_expr("1 << 2 < 3;")
+        assert expr.op == "<"
+
+    def test_left_associativity(self):
+        expr = first_expr("10 - 4 - 3;")
+        assert expr.op == "-" and expr.left.op == "-"
+
+    def test_assignment_right_associative(self):
+        expr = first_expr("a = b = 1;", )
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_conditional(self):
+        expr = first_expr("1 ? 2 : 3;")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_comma_operator(self):
+        expr = first_expr("1, 2;")
+        assert isinstance(expr, ast.Binary) and expr.op == ","
+
+    def test_call_with_arguments(self):
+        expr = first_expr("f(1, 2, 3);")
+        assert isinstance(expr, ast.Call) and len(expr.args) == 3
+
+    def test_chained_postfix(self):
+        expr = first_expr("a[1][2];")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_member_chain(self):
+        expr = first_expr("p->next->value;")
+        assert isinstance(expr, ast.Member) and expr.arrow
+
+    def test_sizeof_type(self):
+        expr = first_expr("sizeof(int);")
+        assert isinstance(expr, ast.SizeofType)
+
+    def test_sizeof_expression(self):
+        expr = first_expr("sizeof x;")
+        assert isinstance(expr, ast.Unary) and expr.op == "sizeof"
+
+    def test_cast(self):
+        expr = first_expr("(char)65;")
+        assert isinstance(expr, ast.Cast)
+
+    def test_cast_vs_parenthesized_expr(self):
+        expr = first_expr("(x);")
+        assert isinstance(expr, ast.Identifier)
+
+    def test_address_and_deref(self):
+        expr = first_expr("*&x;")
+        assert expr.op == "*" and expr.operand.op == "&"
+
+    def test_string_concatenation(self):
+        expr = first_expr('"ab" "cd";')
+        assert isinstance(expr, ast.StringLiteral)
+        assert expr.value == "abcd"
+
+    def test_compound_assignment(self):
+        expr = first_expr("a += 2;")
+        assert isinstance(expr, ast.Assign) and expr.op == "+="
+
+    def test_pre_and_post_increment(self):
+        pre = first_expr("++a;")
+        post = first_expr("a++;")
+        assert isinstance(pre, ast.Unary)
+        assert isinstance(post, ast.PostIncDec)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "int f( { }",
+            "int f(void) { return }",
+            "int f(void) { if }",
+            "int x = ;",
+            "int f(void) { a + ; }",
+            "int f(void) { case 1: ; }",
+            "int [] x;",
+            "int f(void) { int a[0]; }",
+            "int f(void) {",
+        ],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_location(self):
+        with pytest.raises(ParseError) as info:
+            parse("int f(void) {\n  return\n}")
+        assert info.value.location.line >= 2

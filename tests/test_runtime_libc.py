@@ -1,0 +1,134 @@
+"""Tests for the C-subset libc itself (runtime package)."""
+
+from repro.runtime import standard_headers
+
+from helpers import c_main, c_output
+
+
+class TestHeaders:
+    def test_all_headers_present(self):
+        headers = standard_headers()
+        assert set(headers) >= {"sys.h", "string.h", "ctype.h", "stdlib.h", "bio.h"}
+
+    def test_double_include_safe(self):
+        source = (
+            "#include <string.h>\n#include <string.h>\n#include <sys.h>\n"
+            "int main(void) { return strlen(\"ab\") == 2 ? 0 : 1; }"
+        )
+        assert c_output(source) == ""
+
+
+class TestStringFunctions:
+    def test_strncmp_prefix(self):
+        assert c_output(c_main(
+            'print_int(strncmp("abcdef", "abcxyz", 3));'
+            ' print_int(strncmp("abcdef", "abcxyz", 4) < 0);'
+        )) == "01"
+
+    def test_strncpy_pads(self):
+        assert c_output(c_main(
+            'char buf[6]; buf[5] = 0;'
+            ' strncpy(buf, "ab", 5);'
+            " print_int(buf[1]); print_int(buf[2]); print_int(buf[4]);"
+        )) == f"{ord('b')}00"
+
+    def test_strcat(self):
+        assert c_output(c_main(
+            'char buf[16] = "foo"; strcat(buf, "bar"); print_str(buf);'
+        )) == "foobar"
+
+    def test_strchr_found_and_missing(self):
+        assert c_output(c_main(
+            'char *s = "hello";'
+            " print_int(strchr(s, 'l') - s);"
+            " print_int(strchr(s, 'z') == NULL);"
+        )) == "21"
+
+    def test_strchr_finds_terminator(self):
+        assert c_output(c_main(
+            'char *s = "hi"; print_int(strchr(s, 0) - s);'
+        )) == "2"
+
+    def test_strstr_positions(self):
+        assert c_output(c_main(
+            'char *h = "ababc";'
+            ' print_int(strstr(h, "abc") - h);'
+            ' print_int(strstr(h, "") == h);'
+        )) == "21"
+
+    def test_memcpy_memcmp_memset(self):
+        assert c_output(c_main(
+            "char a[4]; char b[4];"
+            " memset(a, 7, 4); memcpy(b, a, 4);"
+            " print_int(memcmp(a, b, 4));"
+            " b[2] = 9; print_int(memcmp(a, b, 4) < 0);"
+        )) == "01"
+
+
+class TestCtype:
+    def test_classifications(self):
+        assert c_output(c_main(
+            "print_int(isdigit('5')); print_int(isdigit('x'));"
+            " print_int(isalpha('Q')); print_int(isalpha('9'));"
+            " print_int(isalnum('_')); print_int(isspace(' '));"
+            " print_int(isspace('\\t')); print_int(isspace('a'));"
+        )) == "10100110"
+
+    def test_case_conversion(self):
+        assert c_output(c_main(
+            "print_int(toupper('a') == 'A');"
+            " print_int(tolower('Z') == 'z');"
+            " print_int(toupper('3') == '3');"
+        )) == "111"
+
+
+class TestStdlib:
+    def test_atoi_whitespace_and_sign(self):
+        assert c_output(c_main(
+            'print_int(atoi("  -42")); putchar(32); print_int(atoi("+7x"));'
+        )) == "-42 7"
+
+    def test_abs(self):
+        assert c_output(c_main("print_int(abs(-9) + abs(4));")) == "13"
+
+    def test_rand_deterministic_after_srand(self):
+        assert c_output(c_main(
+            "int a; int b; srand(5); a = rand(); srand(5); b = rand();"
+            " print_int(a == b); print_int(a >= 0);"
+        )) == "11"
+
+    def test_sort_stability_of_size(self):
+        assert c_output(c_main(
+            "int v[5] = {5, 3, 4, 1, 2}; int i;"
+            " sort((char *)v, 5, 4, cmp);"
+            " for (i = 0; i < 5; i++) print_int(v[i]);",
+            prelude="int cmp(char *a, char *b) { return *(int *)a - *(int *)b; }",
+        )) == "12345"
+
+
+class TestBufferedIO:
+    def test_bput_int_negative(self):
+        source = (
+            "#include <sys.h>\n#include <bio.h>\n"
+            "int main(void) { bput_int(-307); bflush(); return 0; }"
+        )
+        assert c_output(source) == "-307"
+
+    def test_interleaved_two_files(self):
+        source = (
+            "#include <sys.h>\n#include <bio.h>\n"
+            "int main(void) {"
+            ' int fa = open("a", O_READ); int fb = open("b", O_READ);'
+            " int i; for (i = 0; i < 3; i++) {"
+            " putchar(bfgetc(fa)); putchar(bfgetc(fb)); }"
+            " return 0; }"
+        )
+        assert c_output(source, files={"a": b"AAA", "b": b"BBB"}) == "ABABAB"
+
+    def test_bgetchar_eof_persistent(self):
+        source = (
+            "#include <sys.h>\n#include <bio.h>\n"
+            "int main(void) { bgetchar();"
+            " print_int(bgetchar()); print_int(bgetchar()); return 0; }"
+        )
+        assert c_output(source, stdin=b"x") == "-1-1"

@@ -1,0 +1,225 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend.parser import parse_translation_unit as parse
+from repro.frontend.sema import analyze
+from repro.frontend.typesys import IntType, PointerType
+
+
+def check(text):
+    return analyze(parse(text))
+
+
+def check_fails(text, fragment=""):
+    with pytest.raises(SemanticError) as info:
+        check(text)
+    assert fragment in str(info.value)
+    return info.value
+
+
+class TestDeclarations:
+    def test_undeclared_identifier(self):
+        check_fails("int f(void) { return x; }", "undeclared")
+
+    def test_undeclared_function_call(self):
+        check_fails("int f(void) { return g(); }", "undeclared")
+
+    def test_prototype_allows_call(self):
+        result = check("int g(int x); int f(void) { return g(1); }")
+        assert result.functions["g"].is_external
+
+    def test_definition_after_use_via_prototype(self):
+        result = check(
+            "int g(int x); int f(void) { return g(1); }"
+            "int g(int x) { return x; }"
+        )
+        assert not result.functions["g"].is_external
+
+    def test_duplicate_local_raises(self):
+        check_fails("int f(void) { int a; int a; return 0; }", "redeclaration")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check("int f(void) { int a = 1; { int a = 2; } return a; }")
+
+    def test_shadowing_of_global_allowed(self):
+        check("int a; int f(void) { int a = 1; return a; }")
+
+    def test_redefining_function_raises(self):
+        check_fails(
+            "int f(void) { return 0; } int f(void) { return 1; }",
+            "redefinition",
+        )
+
+    def test_void_variable_raises(self):
+        check_fails("int f(void) { void v; return 0; }", "void")
+
+    def test_incomplete_struct_variable_raises(self):
+        check_fails(
+            "struct s; int f(void) { struct s v; return 0; }", "incomplete"
+        )
+
+    def test_incomplete_struct_pointer_ok(self):
+        check("struct s; int f(struct s *p) { return 0; }")
+
+
+class TestTypeChecking:
+    def test_arithmetic_on_ints(self):
+        check("int f(int a, int b) { return a * b + a % b; }")
+
+    def test_pointer_plus_int(self):
+        check("int f(int *p) { return *(p + 1); }")
+
+    def test_pointer_minus_pointer(self):
+        check("int f(int *p, int *q) { return p - q; }")
+
+    def test_pointer_plus_pointer_raises(self):
+        check_fails("int f(int *p, int *q) { return *(p + q); }", "operands")
+
+    def test_dereference_non_pointer_raises(self):
+        check_fails("int f(int a) { return *a; }", "dereference")
+
+    def test_index_non_pointer_raises(self):
+        check_fails("int f(int a) { return a[0]; }")
+
+    def test_member_on_non_struct_raises(self):
+        check_fails("int f(int a) { return a.x; }", "non-struct")
+
+    def test_unknown_field_raises(self):
+        check_fails(
+            "struct s { int x; }; int f(struct s *p) { return p->y; }",
+            "no field",
+        )
+
+    def test_arrow_on_non_pointer_raises(self):
+        check_fails(
+            "struct s { int x; }; int f(struct s v) { return v->x; }", "'->'"
+        )
+
+    def test_dot_on_struct_value(self):
+        check("struct s { int x; }; int f(void) { struct s v; v.x = 1; return v.x; }")
+
+    def test_call_arity_mismatch(self):
+        check_fails(
+            "int g(int a, int b) { return a; } int f(void) { return g(1); }",
+            "argument",
+        )
+
+    def test_call_through_non_function_raises(self):
+        check_fails("int f(int a) { return a(1); }", "not a function")
+
+    def test_condition_must_be_scalar(self):
+        check_fails(
+            "struct s { int x; };"
+            "int f(void) { struct s v; if (v) return 1; return 0; }",
+            "scalar",
+        )
+
+
+class TestLvalues:
+    def test_assign_to_literal_raises(self):
+        check_fails("int f(void) { 1 = 2; return 0; }", "lvalue")
+
+    def test_assign_to_call_raises(self):
+        check_fails(
+            "int g(void) { return 1; } int f(void) { g() = 2; return 0; }",
+            "lvalue",
+        )
+
+    def test_assign_to_function_raises(self):
+        check_fails(
+            "int g(void) { return 1; } int f(void) { g = 0; return 0; }"
+        )
+
+    def test_increment_of_literal_raises(self):
+        check_fails("int f(void) { return 1++; }", "lvalue")
+
+    def test_assign_to_array_raises(self):
+        check_fails("int f(void) { int a[3]; int b[3]; a = b; return 0; }")
+
+    def test_address_of_literal_raises(self):
+        check_fails("int f(void) { return *&5; }")
+
+
+class TestReturns:
+    def test_missing_value_raises(self):
+        check_fails("int f(void) { return; }", "returns no value")
+
+    def test_value_from_void_raises(self):
+        check_fails("void f(void) { return 1; }", "returns a value")
+
+    def test_struct_return_mismatch(self):
+        check_fails(
+            "struct s { int x; };"
+            "int f(void) { struct s v; return v; }"
+        )
+
+
+class TestBreakContinue:
+    def test_break_outside_loop(self):
+        check_fails("int f(void) { break; return 0; }", "break")
+
+    def test_continue_outside_loop(self):
+        check_fails("int f(void) { continue; return 0; }", "continue")
+
+    def test_break_in_switch_ok(self):
+        check("int f(int a) { switch (a) { case 1: break; } return 0; }")
+
+    def test_continue_in_switch_outside_loop_raises(self):
+        check_fails(
+            "int f(int a) { switch (a) { case 1: continue; } return 0; }",
+            "continue",
+        )
+
+
+class TestAddressTaken:
+    def test_local_address_taken_marked(self):
+        result = check("int f(void) { int a = 1; int *p = &a; return *p; }")
+        info = result.function_info["f"]
+        assert info.locals[0].address_taken
+
+    def test_plain_local_not_marked(self):
+        result = check("int f(void) { int a = 1; return a; }")
+        assert not result.function_info["f"].locals[0].address_taken
+
+    def test_function_used_as_value_marked(self):
+        result = check(
+            "int g(int x) { return x; }"
+            "int f(void) { int (*p)(int x) = g; return p(1); }"
+        )
+        assert result.functions["g"].address_taken
+
+    def test_function_called_directly_not_marked(self):
+        result = check(
+            "int g(int x) { return x; } int f(void) { return g(1); }"
+        )
+        assert not result.functions["g"].address_taken
+
+    def test_explicit_address_of_function(self):
+        result = check(
+            "int g(int x) { return x; }"
+            "int f(void) { int (*p)(int x) = &g; return p(2); }"
+        )
+        assert result.functions["g"].address_taken
+
+    def test_array_element_address_marks_array(self):
+        result = check("int f(void) { int a[3]; int *p = &a[1]; return *p; }")
+        assert result.function_info["f"].locals[0].address_taken
+
+
+class TestExpressionTypes:
+    def test_annotations_present(self):
+        result = check("int f(int a) { return a + 1; }")
+        body = result.unit.functions[0].body
+        ret = body.statements[0]
+        assert ret.value.ctype == IntType(4)
+
+    def test_string_literal_type(self):
+        result = check('char *f(void) { return "x"; }')
+        ret = result.unit.functions[0].body.statements[0]
+        assert isinstance(ret.value.ctype, PointerType)
+
+    def test_externals_listed(self):
+        result = check("int g(int x); int f(void) { return g(2); }")
+        assert result.external_functions == ["g"]

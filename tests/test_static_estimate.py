@@ -1,0 +1,85 @@
+"""Tests for structure-analysis weight estimation (§2.2 / §4.2)."""
+
+from repro.compiler import compile_program
+from repro.inliner.manager import inline_module
+from repro.profiler import RunSpec, estimate_profile, profile_module, run_once
+
+PROGRAM = """
+#include <sys.h>
+int in_loop(int x) { return x + 1; }
+int in_nested(int x) { return x * 2; }
+int outside(int x) { return x - 1; }
+int main(void) {
+    int i;
+    int j;
+    int s = outside(5);
+    for (i = 0; i < 10; i++) {
+        s += in_loop(i);
+        for (j = 0; j < 10; j++)
+            s += in_nested(j);
+    }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+class TestEstimation:
+    def test_loop_depth_orders_weights(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        assert (
+            estimated.node_weight("in_nested")
+            > estimated.node_weight("in_loop")
+            > estimated.node_weight("outside")
+        )
+
+    def test_entry_weight_is_one(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        assert estimated.node_weight("main") == 1.0
+
+    def test_arc_weights_cover_all_sites(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        sites = {instr.site for _, instr in module.call_sites()}
+        assert sites <= set(estimated.arc_weights)
+
+    def test_uncalled_functions_weightless(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        assert estimated.node_weight("strstr") == 0.0  # unused libc
+
+    def test_recursion_does_not_blow_up(self):
+        module = compile_program(
+            "int f(int n) { return n <= 0 ? 0 : f(n - 1); }\n"
+            "int main(void) { int i; int s = 0;"
+            " for (i = 0; i < 3; i++) s += f(i); return s ? 1 : 0; }"
+        )
+        estimated = estimate_profile(module)
+        assert estimated.node_weight("f") < 1e6
+
+    def test_ranking_correlates_with_real_profile(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        real = profile_module(module, [RunSpec()])
+        called = ["in_nested", "in_loop", "outside"]
+        estimated_rank = sorted(called, key=estimated.node_weight)
+        real_rank = sorted(called, key=real.node_weight)
+        assert estimated_rank == real_rank
+
+
+class TestEstimatedInlining:
+    def test_pipeline_runs_on_estimates(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        result = inline_module(module, estimated)
+        assert result.records
+        assert run_once(result.module).stdout == run_once(module).stdout
+
+    def test_hot_loop_callee_selected(self):
+        module = compile_program(PROGRAM)
+        estimated = estimate_profile(module)
+        result = inline_module(module, estimated)
+        callees = {record.callee for record in result.records}
+        assert "in_nested" in callees

@@ -1,0 +1,209 @@
+"""Unit tests for the type system and constant-expression evaluator."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+from repro.frontend.constexpr import (
+    INT_MAX,
+    INT_MIN,
+    apply_binary,
+    apply_unary,
+    eval_const_expr,
+    wrap32,
+)
+from repro.frontend.typesys import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    decay,
+    is_assignable,
+    layout_struct,
+)
+
+
+class TestSizes:
+    def test_primitive_sizes(self):
+        assert INT.size() == 4
+        assert CHAR.size() == 1
+        assert VOID.size() == 0
+        assert PointerType(INT).size() == 4
+        assert PointerType(VOID).size() == 4
+
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size() == 40
+        assert ArrayType(ArrayType(CHAR, 3), 4).size() == 12
+
+    def test_alignment(self):
+        assert CHAR.alignment() == 1
+        assert INT.alignment() == 4
+        assert ArrayType(CHAR, 9).alignment() == 1
+
+
+class TestStructLayout:
+    def test_natural_alignment_padding(self):
+        struct = layout_struct("s", [("c", CHAR), ("i", INT), ("d", CHAR)])
+        assert struct.field("c").offset == 0
+        assert struct.field("i").offset == 4
+        assert struct.field("d").offset == 8
+        assert struct.size() == 12
+
+    def test_packed_chars(self):
+        struct = layout_struct("s", [("a", CHAR), ("b", CHAR)])
+        assert struct.field("b").offset == 1
+        assert struct.size() == 2
+
+    def test_nested_struct_alignment(self):
+        inner = layout_struct("inner", [("x", INT)])
+        outer = layout_struct("outer", [("c", CHAR), ("in_", inner)])
+        assert outer.field("in_").offset == 4
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(SemanticError):
+            layout_struct("s", [("x", INT), ("x", INT)])
+
+    def test_incomplete_struct_size_raises(self):
+        with pytest.raises(SemanticError):
+            StructType("fwd").size()
+
+    def test_missing_field_raises(self):
+        struct = layout_struct("s", [("x", INT)])
+        with pytest.raises(SemanticError):
+            struct.field("y")
+        assert struct.has_field("x")
+        assert not struct.has_field("y")
+
+
+class TestDecayAndAssignability:
+    def test_array_decays_to_pointer(self):
+        assert decay(ArrayType(INT, 5)) == PointerType(INT)
+
+    def test_function_decays_to_pointer(self):
+        fn = FunctionType(INT, (INT,))
+        assert decay(fn) == PointerType(fn)
+
+    def test_scalar_unchanged(self):
+        assert decay(INT) is INT
+
+    def test_int_to_int(self):
+        assert is_assignable(INT, CHAR)
+        assert is_assignable(CHAR, INT)
+
+    def test_pointer_to_pointer_permissive(self):
+        assert is_assignable(PointerType(CHAR), PointerType(INT))
+
+    def test_null_constant_to_pointer(self):
+        assert is_assignable(PointerType(INT), INT)
+
+    def test_struct_needs_same_tag(self):
+        a = layout_struct("a", [("x", INT)])
+        b = layout_struct("b", [("x", INT)])
+        assert is_assignable(a, a)
+        assert not is_assignable(a, b)
+
+    def test_array_source_decays(self):
+        assert is_assignable(PointerType(INT), ArrayType(INT, 4))
+
+
+class TestWrap32:
+    def test_positive_in_range(self):
+        assert wrap32(5) == 5
+
+    def test_overflow_wraps_negative(self):
+        assert wrap32(INT_MAX + 1) == INT_MIN
+
+    def test_underflow_wraps_positive(self):
+        assert wrap32(INT_MIN - 1) == INT_MAX
+
+    def test_large_multiple(self):
+        assert wrap32(2**32) == 0
+        assert wrap32(2**32 + 7) == 7
+
+
+class TestApplyBinary:
+    def test_division_truncates_toward_zero(self):
+        assert apply_binary("/", 7, 2) == 3
+        assert apply_binary("/", -7, 2) == -3
+        assert apply_binary("/", 7, -2) == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert apply_binary("%", 7, 3) == 1
+        assert apply_binary("%", -7, 3) == -1
+        assert apply_binary("%", 7, -3) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            apply_binary("/", 1, 0)
+
+    def test_shift_masks_amount(self):
+        assert apply_binary("<<", 1, 33) == 2
+
+    def test_arithmetic_right_shift(self):
+        assert apply_binary(">>", -8, 1) == -4
+
+    def test_comparisons_return_01(self):
+        assert apply_binary("<", 1, 2) == 1
+        assert apply_binary(">=", 1, 2) == 0
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(SemanticError):
+            apply_binary("**", 2, 3)
+
+
+class TestApplyUnary:
+    def test_all_ops(self):
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("~", 0) == -1
+        assert apply_unary("!", 0) == 1
+        assert apply_unary("!", 9) == 0
+        assert apply_unary("+", 7) == 7
+
+    def test_negate_int_min_wraps(self):
+        assert apply_unary("-", INT_MIN) == INT_MIN
+
+
+class TestEvalConstExpr:
+    def test_literal(self):
+        assert eval_const_expr(ast.IntLiteral(42)) == 42
+
+    def test_nested_arithmetic(self):
+        expr = ast.Binary(
+            "*", ast.Binary("+", ast.IntLiteral(2), ast.IntLiteral(3)),
+            ast.IntLiteral(4),
+        )
+        assert eval_const_expr(expr) == 20
+
+    def test_conditional(self):
+        expr = ast.Conditional(
+            ast.IntLiteral(0), ast.IntLiteral(1), ast.IntLiteral(2)
+        )
+        assert eval_const_expr(expr) == 2
+
+    def test_short_circuit_avoids_division_by_zero(self):
+        expr = ast.Binary(
+            "&&",
+            ast.IntLiteral(0),
+            ast.Binary("/", ast.IntLiteral(1), ast.IntLiteral(0)),
+        )
+        assert eval_const_expr(expr) == 0
+
+    def test_division_by_zero_raises(self):
+        expr = ast.Binary("/", ast.IntLiteral(1), ast.IntLiteral(0))
+        with pytest.raises(SemanticError):
+            eval_const_expr(expr)
+
+    def test_sizeof_type(self):
+        expr = ast.SizeofType(ArrayType(INT, 3))
+        assert eval_const_expr(expr) == 12
+
+    def test_cast_to_char_truncates(self):
+        expr = ast.Cast(CHAR, ast.IntLiteral(300))
+        assert eval_const_expr(expr) == 44
+
+    def test_non_constant_raises(self):
+        with pytest.raises(SemanticError):
+            eval_const_expr(ast.Identifier("x"))

@@ -1,0 +1,74 @@
+"""Tests for the deterministic workload input generators."""
+
+from repro.workloads.inputs import (
+    binary_blob,
+    c_source_text,
+    number_list,
+    skewed_text,
+    word_text,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        assert word_text(3, 100) == word_text(3, 100)
+        assert binary_blob(3, 64) == binary_blob(3, 64)
+        assert skewed_text(3, 64) == skewed_text(3, 64)
+        assert c_source_text(3, 5) == c_source_text(3, 5)
+        assert number_list(3, 10) == number_list(3, 10)
+
+    def test_different_seed_different_bytes(self):
+        assert word_text(1, 100) != word_text(2, 100)
+        assert binary_blob(1, 64) != binary_blob(2, 64)
+
+
+class TestWordText:
+    def test_word_count(self):
+        text = word_text(0, 50).decode()
+        assert len(text.split()) == 50
+
+    def test_ends_with_newline(self):
+        assert word_text(0, 10).endswith(b"\n")
+
+    def test_line_wrapping(self):
+        lines = word_text(0, 64, line_words=8).decode().strip().split("\n")
+        assert all(len(line.split()) <= 8 for line in lines)
+
+
+class TestCSourceText:
+    def test_contains_defines_and_functions(self):
+        text = c_source_text(0, 4).decode()
+        assert "#define LIMIT" in text
+        assert text.count("fn_") >= 4
+        assert "return" in text
+
+    def test_function_count_scales(self):
+        small = c_source_text(0, 2)
+        large = c_source_text(0, 20)
+        assert len(large) > len(small)
+
+
+class TestBinaryAndSkewed:
+    def test_blob_length(self):
+        assert len(binary_blob(0, 123)) == 123
+
+    def test_blob_uses_full_byte_range(self):
+        blob = binary_blob(0, 2000)
+        assert max(blob) > 200 and min(blob) < 30
+
+    def test_skewed_is_compressible(self):
+        import zlib
+
+        data = skewed_text(0, 2000)
+        assert len(zlib.compress(data)) < len(data) // 2
+
+    def test_skewed_alphabet_respected(self):
+        data = skewed_text(0, 500)
+        assert set(data) <= set(b"abcdefgh ")
+
+
+class TestNumberList:
+    def test_parses_as_integers(self):
+        values = [int(line) for line in number_list(0, 20).split()]
+        assert len(values) == 20
+        assert all(0 <= v < 10000 for v in values)

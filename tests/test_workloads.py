@@ -1,0 +1,269 @@
+"""Tests for the twelve-benchmark suite: compilation, execution, and
+benchmark-specific output correctness."""
+
+import pytest
+
+from repro.profiler.profile import run_once
+from repro.workloads import benchmark_by_name, benchmark_names, benchmark_suite
+
+
+@pytest.fixture(scope="module")
+def modules():
+    """Compile every benchmark once per test module."""
+    return {b.name: b.compile() for b in benchmark_suite()}
+
+
+class TestSuiteShape:
+    def test_twelve_benchmarks(self):
+        assert len(benchmark_suite()) == 12
+
+    def test_names_match_paper(self):
+        assert set(benchmark_names()) == {
+            "cccp", "cmp", "compress", "eqn", "espresso", "grep",
+            "lex", "make", "tar", "tee", "wc", "yacc",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("vi")
+
+    def test_c_lines_positive(self):
+        for benchmark in benchmark_suite():
+            assert benchmark.c_lines > 20, benchmark.name
+
+    def test_paper_run_counts(self):
+        # Table 1: lex has 4 inputs, yacc 8, the rest up to 20 at full scale.
+        assert len(benchmark_by_name("lex").make_runs("full")) == 4
+        assert len(benchmark_by_name("yacc").make_runs("full")) == 8
+        assert len(benchmark_by_name("cccp").make_runs("full")) == 20
+        assert len(benchmark_by_name("cmp").make_runs("full")) == 16
+        assert len(benchmark_by_name("tar").make_runs("full")) == 14
+
+    def test_runs_are_deterministic(self):
+        for name in ("grep", "espresso", "make"):
+            first = benchmark_by_name(name).make_runs("small")
+            second = benchmark_by_name(name).make_runs("small")
+            assert [s.stdin for s in first] == [s.stdin for s in second]
+            assert [s.files for s in first] == [s.files for s in second]
+
+
+@pytest.mark.parametrize("name", [
+    "cccp", "cmp", "compress", "eqn", "espresso", "grep",
+    "lex", "make", "tar", "tee", "wc", "yacc",
+])
+class TestEveryBenchmark:
+    def test_all_small_inputs_run_clean(self, name, modules):
+        benchmark = benchmark_by_name(name)
+        module = modules[name]
+        for spec in benchmark.make_runs("small"):
+            result = run_once(module, spec)
+            assert result.exit_code == 0, (spec.label, result.os.stderr_text())
+
+    def test_deterministic_execution(self, name, modules):
+        benchmark = benchmark_by_name(name)
+        module = modules[name]
+        spec = benchmark.make_runs("small")[0]
+        assert run_once(module, spec).stdout == run_once(module, spec).stdout
+
+
+class TestBenchmarkCorrectness:
+    def test_wc_counts(self, modules):
+        spec_stdin = b"one two three\nfour five\n"
+        from repro.profiler.profile import RunSpec
+
+        result = run_once(modules["wc"], RunSpec(stdin=spec_stdin))
+        lines, words, chars = map(int, result.stdout.split())
+        assert (lines, words, chars) == (2, 5, len(spec_stdin))
+
+    def test_tee_copies_stdin(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        result = run_once(
+            modules["tee"], RunSpec(stdin=b"payload", argv=["copy.txt"])
+        )
+        assert result.stdout == "payload"
+        assert result.os.written_files["copy.txt"] == b"payload"
+
+    def test_cmp_identical_files(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        result = run_once(
+            modules["cmp"],
+            RunSpec(files={"a": b"same", "b": b"same"}, argv=["a", "b"]),
+        )
+        assert "identical" in result.stdout
+
+    def test_cmp_finds_difference(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        result = run_once(
+            modules["cmp"],
+            RunSpec(files={"a": b"same", "b": b"sane"}, argv=["a", "b"]),
+        )
+        assert "differ: byte 3" in result.stdout
+
+    def test_grep_finds_lines(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        result = run_once(
+            modules["grep"],
+            RunSpec(stdin=b"alpha\nbet\ngamma\n", argv=["-n", "a"]),
+        )
+        assert "1:alpha" in result.stdout
+        assert "3:gamma" in result.stdout
+        assert "bet" not in result.stdout
+
+    def test_grep_anchors_and_classes(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        result = run_once(
+            modules["grep"],
+            RunSpec(stdin=b"xa\nax\naxx\n", argv=["-c", "^a[wxy]*$"]),
+        )
+        assert result.stdout.strip() == "2"
+
+    def test_compress_output_smaller_on_repetitive_input(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        data = b"abcabcabc" * 100
+        result = run_once(modules["compress"], RunSpec(stdin=data))
+        summary = result.stdout.rsplit("in ", 1)[1]
+        bytes_in = int(summary.split()[0])
+        bytes_out = int(summary.split()[2])
+        assert bytes_in == len(data)
+        assert bytes_out < bytes_in
+
+    def test_eqn_counts_equations(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        doc = b"text\n.EQ\nx sup 2\n.EN\nmore\n.EQ\na over b\n.EN\n"
+        result = run_once(modules["eqn"], RunSpec(stdin=doc))
+        assert "equations 2" in result.stdout
+
+    def test_espresso_minimizes(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        # f = x (2 vars): on-minterms 10,11; off 00,01. One cube "1-".
+        pla = b".i2\n10 1\n11 1\n00 0\n01 0\n.e\n"
+        result = run_once(
+            modules["espresso"], RunSpec(files={"f.pla": pla}, argv=["f.pla"])
+        )
+        assert "1-" in result.stdout
+        assert "cubes 1 literals 1" in result.stdout
+
+    def test_lex_classifies_tokens(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        spec = RunSpec(
+            files={
+                "spec": b"if while",
+                "src": b'if (x) while (y) z = 42; /* c */ "s"',
+            },
+            argv=["spec", "src"],
+        )
+        result = run_once(modules["lex"], spec)
+        assert "keywords 2" in result.stdout
+        assert "numbers 1" in result.stdout
+        assert "comments 1" in result.stdout
+        assert "strings 1" in result.stdout
+
+    def test_make_builds_stale_target(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        makefile = b"app: a.o\n>link app\na.o: a.c\n>cc a.c\n"
+        fstab = b"a.c 200\na.o 100\n"
+        result = run_once(
+            modules["make"],
+            RunSpec(files={"Makefile": makefile, "fs.txt": fstab},
+                    argv=["Makefile", "fs.txt"]),
+        )
+        assert "building a.o" in result.stdout
+        assert "building app" in result.stdout
+        assert "commands run: 2" in result.stdout
+
+    def test_make_skips_fresh_target(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        makefile = b"app: a.o\n>link app\n"
+        fstab = b"a.o 100\napp 200\n"
+        result = run_once(
+            modules["make"],
+            RunSpec(files={"Makefile": makefile, "fs.txt": fstab},
+                    argv=["Makefile", "fs.txt"]),
+        )
+        assert "commands run: 0" in result.stdout
+
+    def test_tar_roundtrip(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        payload = {"x.txt": b"hello tar", "y.bin": bytes(range(64)) * 2}
+        create = run_once(
+            modules["tar"],
+            RunSpec(files=dict(payload), argv=["c", "out.tar", "x.txt", "y.bin"]),
+        )
+        archive = create.os.written_files["out.tar"]
+        extract = run_once(
+            modules["tar"], RunSpec(files={"in.tar": archive}, argv=["x", "in.tar"])
+        )
+        assert extract.os.written_files["x.txt"] == payload["x.txt"]
+        assert extract.os.written_files["y.bin"] == payload["y.bin"]
+        assert "MISMATCH" not in extract.stdout
+
+    def test_yacc_accepts_and_rejects(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        grammar = b"S = a S b\nS =\n?ab\n?aabb\n?ba\n?aab\n"
+        result = run_once(
+            modules["yacc"], RunSpec(files={"g.y": grammar}, argv=["g.y"])
+        )
+        assert "accept 2" in result.stdout
+        assert "reject 2" in result.stdout
+        assert "conflicts 0" in result.stdout
+
+    def test_cccp_expands_macros(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        src = b"#define N 5\nint x = N;\n// gone\nint y; /* also gone */\n"
+        result = run_once(modules["cccp"], RunSpec(stdin=src))
+        assert "int x = 5;" in result.stdout
+        assert "gone" not in result.stdout
+
+    def test_cccp_conditionals(self, modules):
+        from repro.profiler.profile import RunSpec
+
+        src = (
+            b"#define ON 1\n#ifdef ON\nint kept;\n#else\nint dropped;\n#endif\n"
+            b"#ifdef OFF\nint hidden;\n#endif\n"
+        )
+        result = run_once(modules["cccp"], RunSpec(stdin=src))
+        assert "kept" in result.stdout
+        assert "dropped" not in result.stdout
+        assert "hidden" not in result.stdout
+
+
+class TestUnlinkedLibcVariant:
+    def test_benchmarks_compile_without_libc(self):
+        """Without the libc source, string helpers become externals —
+        the paper's 'library archive unavailable' situation."""
+        for name in ("grep", "cmp", "make"):
+            benchmark = benchmark_by_name(name)
+            module = benchmark.compile(link_libc=False)
+            assert "strcmp" in module.externals or "strlen" in module.externals
+
+    def test_unlinked_grep_has_more_external_sites(self):
+        from repro.callgraph.build import build_call_graph
+        from repro.callgraph.graph import ArcKind
+
+        benchmark = benchmark_by_name("grep")
+
+        def external_sites(module):
+            graph = build_call_graph(module)
+            return sum(
+                1
+                for arc in graph.call_site_arcs()
+                if arc.kind is ArcKind.EXTERNAL
+            )
+
+        linked = external_sites(benchmark.compile(link_libc=True))
+        unlinked = external_sites(benchmark.compile(link_libc=False))
+        assert unlinked > linked
