@@ -20,6 +20,7 @@ Quickstart::
 from repro.compiler import compile_program, compile_with_analysis
 from repro.inliner.manager import InlineExpander, InlineResult, inline_module
 from repro.inliner.params import InlineParameters
+from repro.observability import Observability
 from repro.opt import optimize_function, optimize_module
 from repro.profiler.profile import (
     ProfileData,
@@ -37,6 +38,7 @@ __all__ = [
     "InlineParameters",
     "InlineResult",
     "Machine",
+    "Observability",
     "ProfileData",
     "RunResult",
     "RunSpec",

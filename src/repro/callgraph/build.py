@@ -21,6 +21,7 @@ from repro.callgraph.graph import (
 )
 from repro.il.instructions import Opcode
 from repro.il.module import ILModule
+from repro.observability import Observability, resolve
 from repro.profiler.profile import ProfileData
 
 
@@ -28,6 +29,7 @@ def build_call_graph(
     module: ILModule,
     profile: ProfileData | None = None,
     refine_pointers: bool = False,
+    obs: Observability | None = None,
 ) -> CallGraph:
     """Build the weighted call graph of ``module``.
 
@@ -96,4 +98,20 @@ def build_call_graph(
             graph.add_synthetic_arc(POINTER_NODE, name)
         # A pointer call may also land in an external function.
         graph.add_synthetic_arc(POINTER_NODE, EXTERNAL_NODE)
+
+    obs = resolve(obs)
+    if obs.enabled:
+        kinds: dict[str, int] = {}
+        for arc in graph.arcs.values():
+            kinds[arc.kind.value] = kinds.get(arc.kind.value, 0) + 1
+        metrics = obs.metrics
+        metrics.inc("callgraph.builds")
+        for kind, count in kinds.items():
+            metrics.inc(f"callgraph.arcs_{kind}", count)
+        obs.tracer.event(
+            "callgraph.built",
+            nodes=len(graph.nodes),
+            arcs=len(graph.arcs),
+            **{f"arcs_{kind}": count for kind, count in sorted(kinds.items())},
+        )
     return graph

@@ -9,6 +9,11 @@ Subcommands::
         report the call decrease / code increase.
     impact-inline tables [--scale small|full]
         Regenerate the paper's tables (same as python -m repro.experiments).
+
+``run``, ``inline``, and ``tables`` accept ``--trace FILE`` (structured
+JSONL trace: phase spans, events, inline-decision audit records) and
+``--metrics-out FILE`` (JSON snapshot of pipeline counters/gauges/
+histograms); see README "Observability".
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.compiler import compile_program
 from repro.il.printer import format_module
 from repro.inliner.manager import inline_module
 from repro.inliner.params import InlineParameters
+from repro.observability import Observability
 from repro.profiler.profile import RunSpec, profile_module, run_once
 
 
@@ -30,11 +36,47 @@ def _run_spec(args: argparse.Namespace) -> RunSpec:
     )
 
 
+def _make_obs(args: argparse.Namespace) -> Observability | None:
+    """A live observability context when --trace/--metrics-out ask for one."""
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        return Observability.create()
+    return None
+
+
+def _export_obs(args: argparse.Namespace, obs: Observability | None) -> None:
+    if obs is None:
+        return
+    from repro.observability.export import write_metrics, write_trace
+
+    if args.trace:
+        write_trace(obs.tracer, args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        write_metrics(obs.metrics, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trace (spans, events, inline decisions)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSON metrics snapshot",
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
-    module = compile_program(source, args.file)
-    result = run_once(module, _run_spec(args))
+    obs = _make_obs(args)
+    module = compile_program(source, args.file, obs=obs)
+    result = run_once(module, _run_spec(args), obs=obs)
     sys.stdout.write(result.stdout)
     counters = result.counters
     print(
@@ -42,6 +84,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f" {counters.ct} CTs, {counters.calls} calls]",
         file=sys.stderr,
     )
+    _export_obs(args, obs)
     return result.exit_code
 
 
@@ -65,7 +108,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_inline(args: argparse.Namespace) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
-    module = compile_program(source, args.file)
+    obs = _make_obs(args)
+    module = compile_program(source, args.file, obs=obs)
     spec = _run_spec(args)
     if args.profile_file:
         from repro.profiler.serialize import load_profile
@@ -73,13 +117,16 @@ def _cmd_inline(args: argparse.Namespace) -> int:
         with open(args.profile_file, encoding="utf-8") as handle:
             profile = load_profile(handle.read(), module)
     else:
-        profile = profile_module(module, [spec], check_exit=False)
+        profile = profile_module(module, [spec], check_exit=False, obs=obs)
     params = InlineParameters(
         weight_threshold=args.threshold,
         size_limit_factor=args.growth,
     )
-    result = inline_module(module, profile, params)
-    after = profile_module(result.module, [spec], check_exit=False)
+    result = inline_module(module, profile, params, obs=obs)
+    if obs is not None and obs.tracer.enabled:
+        for decision in result.decisions:
+            obs.tracer.record(decision.to_record())
+    after = profile_module(result.module, [spec], check_exit=False, obs=obs)
     before_calls = profile.avg_calls
     decrease = 1.0 - after.avg_calls / before_calls if before_calls else 0.0
     print(f"expanded call sites : {len(result.records)}")
@@ -88,6 +135,7 @@ def _cmd_inline(args: argparse.Namespace) -> int:
     print(f"ILs per call after  : {after.avg_il / after.avg_calls if after.avg_calls else float('inf'):.0f}")
     if args.dump:
         print(format_module(result.module))
+    _export_obs(args, obs)
     return 0
 
 
@@ -109,7 +157,12 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main([args.what, "--scale", args.scale])
+    argv = [args.what, "--scale", args.scale]
+    if args.trace:
+        argv += ["--trace", args.trace]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    return experiments_main(argv)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("file")
     run_parser.add_argument("--stdin", default="")
     run_parser.add_argument("--arg", action="append")
+    _add_obs_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     inline_parser = sub.add_parser(
@@ -139,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
     inline_parser.add_argument("--threshold", type=float, default=10.0)
     inline_parser.add_argument("--growth", type=float, default=1.25)
     inline_parser.add_argument("--dump", action="store_true")
+    _add_obs_flags(inline_parser)
     inline_parser.set_defaults(func=_cmd_inline)
 
     profile_parser = sub.add_parser(
@@ -176,6 +231,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=["table1", "table2", "table3", "table4", "breakdown", "all"],
     )
     tables_parser.add_argument("--scale", default="small", choices=["small", "full"])
+    _add_obs_flags(tables_parser)
     tables_parser.set_defaults(func=_cmd_tables)
 
     args = parser.parse_args(argv)

@@ -20,6 +20,7 @@ from repro.frontend.sema import AnalyzedUnit, analyze
 from repro.il.lowering import lower_unit
 from repro.il.module import ILModule
 from repro.il.verifier import verify_module
+from repro.observability import Observability, resolve
 from repro.runtime import LIBC_SOURCE, standard_headers
 
 
@@ -37,6 +38,7 @@ def compile_to_analysis(
     headers: dict[str, str] | None = None,
     defines: dict[str, str] | None = None,
     link_libc: bool = True,
+    obs: Observability | None = None,
 ) -> AnalyzedUnit:
     """Preprocess, parse, and semantically analyze a program.
 
@@ -45,16 +47,20 @@ def compile_to_analysis(
     have visible bodies. Without it, libc calls resolve against header
     prototypes only and become external functions.
     """
+    obs = resolve(obs)
     all_headers = standard_headers()
     if headers:
         all_headers.update(headers)
     preprocessor = Preprocessor(all_headers, defines)
-    pieces = []
-    if link_libc:
-        pieces.append(preprocessor.process(LIBC_SOURCE, "<libc>"))
-    pieces.append(preprocessor.process(source, filename))
-    unit = parse_translation_unit("\n".join(pieces), filename)
-    return analyze(unit)
+    with obs.tracer.span("frontend.preprocess"):
+        pieces = []
+        if link_libc:
+            pieces.append(preprocessor.process(LIBC_SOURCE, "<libc>"))
+        pieces.append(preprocessor.process(source, filename))
+    with obs.tracer.span("frontend.parse"):
+        unit = parse_translation_unit("\n".join(pieces), filename, obs=obs)
+    with obs.tracer.span("frontend.analyze"):
+        return analyze(unit)
 
 
 def compile_program(
@@ -65,12 +71,23 @@ def compile_program(
     link_libc: bool = True,
     entry: str = "main",
     verify: bool = True,
+    obs: Observability | None = None,
 ) -> ILModule:
     """Compile C-subset source text into a verified, linked IL module."""
-    analysis = compile_to_analysis(source, filename, headers, defines, link_libc)
-    module = lower_unit(analysis, entry)
-    if verify:
-        verify_module(module)
+    obs = resolve(obs)
+    with obs.tracer.span("frontend.compile", file=filename):
+        analysis = compile_to_analysis(
+            source, filename, headers, defines, link_libc, obs=obs
+        )
+        with obs.tracer.span("frontend.lower"):
+            module = lower_unit(analysis, entry)
+        if verify:
+            with obs.tracer.span("frontend.verify"):
+                verify_module(module)
+    if obs.metrics.enabled:
+        obs.metrics.inc("frontend.modules_compiled")
+        obs.metrics.inc("frontend.functions_lowered", len(module.functions))
+        obs.metrics.inc("frontend.il_instructions_emitted", module.total_code_size())
     return module
 
 

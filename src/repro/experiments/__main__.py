@@ -99,7 +99,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="restrict to named benchmarks",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trace (spans, events, inline decisions)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSON metrics snapshot",
+    )
     args = parser.parse_args(argv)
+
+    obs = None
+    if args.trace or args.metrics_out:
+        from repro.observability import Observability
+
+        obs = Observability.create()
 
     if args.what == "extensions":
         _run_extensions(args.scale)
@@ -129,8 +147,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    results = run_suite(args.scale, names=args.benchmarks, progress=True)
+    results = run_suite(args.scale, names=args.benchmarks, progress=True, obs=obs)
     print(_TABLES[args.what](results))
+    if obs is not None:
+        from repro.observability.export import write_metrics, write_trace
+
+        if args.trace:
+            write_trace(obs.tracer, args.trace)
+            print(f"wrote trace to {args.trace}", file=sys.stderr)
+        if args.metrics_out:
+            write_metrics(obs.metrics, args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
     return 0
 
 

@@ -5,19 +5,29 @@ optimization, which the paper applies *before* inline expansion — §4.4),
 profile over the input set, classify call sites, inline, re-profile the
 inlined program over the same inputs, and check output equivalence
 between the original and inlined binaries on every input.
+
+Every stage is instrumented: pass an
+:class:`~repro.observability.Observability` as ``obs`` to collect a
+structured trace (phase spans, inline-decision audit records) and a
+metrics snapshot. The default (``obs=None``) is a true no-op and leaves
+all outputs byte-identical.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.inliner.classify import ClassifiedSites, SiteClass, classify_sites
 from repro.inliner.manager import InlineExpander, InlineResult
 from repro.inliner.params import InlineParameters
+from repro.observability import Observability, enable_console_logging, resolve
 from repro.opt import optimize_module
 from repro.profiler.profile import ProfileData, RunSpec, profile_module, run_once
 from repro.callgraph.build import build_call_graph
 from repro.workloads.suite import Benchmark, benchmark_suite
+
+_LOG = logging.getLogger("repro.experiments")
 
 
 @dataclass
@@ -35,6 +45,9 @@ class BenchmarkResult:
     post_classified: ClassifiedSites
     outputs_match: bool
     params: InlineParameters = field(default_factory=InlineParameters)
+    #: Human-readable description of every input whose outputs diverged
+    #: between the original and inlined binaries (empty when they match).
+    output_divergences: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Table 1 quantities
@@ -73,33 +86,70 @@ class BenchmarkResult:
         return self.post_profile.avg_ct / calls if calls else float("inf")
 
 
+@dataclass
+class OutputComparison:
+    """Outcome of comparing two modules' outputs over an input set."""
+
+    matches: bool
+    #: One entry per diverging input: which spec, and what differed
+    #: (exit code vs. stdout vs. written files).
+    divergences: list[str] = field(default_factory=list)
+
+
 def run_benchmark(
     benchmark: Benchmark,
     scale: str = "small",
     params: InlineParameters | None = None,
     pre_optimize: bool = True,
     check_outputs: bool = True,
+    obs: Observability | None = None,
 ) -> BenchmarkResult:
     """Run the full experiment pipeline for one benchmark."""
     params = params or InlineParameters()
-    module = benchmark.compile()
-    if pre_optimize:
-        optimize_module(module)
-    specs = benchmark.make_runs(scale)
-    profile = profile_module(module, specs)
+    obs = resolve(obs)
+    tracer = obs.tracer
+    with tracer.span("benchmark", name=benchmark.name, scale=scale) as attrs:
+        with tracer.span("benchmark.compile", name=benchmark.name):
+            module = benchmark.compile(obs=obs)
+        if pre_optimize:
+            with tracer.span("benchmark.pre_optimize", name=benchmark.name):
+                optimize_module(module, obs=obs)
+        specs = benchmark.make_runs(scale)
+        with tracer.span("benchmark.profile", name=benchmark.name):
+            profile = profile_module(module, specs, obs=obs)
 
-    expander = InlineExpander(module, profile, params)
-    inline_result = expander.run()
-    post_profile = profile_module(inline_result.module, specs)
+        with tracer.span("benchmark.inline", name=benchmark.name):
+            expander = InlineExpander(module, profile, params, obs=obs)
+            inline_result = expander.run()
+        if tracer.enabled:
+            for decision in inline_result.decisions:
+                record = decision.to_record()
+                record["benchmark"] = benchmark.name
+                tracer.record(record)
+        with tracer.span("benchmark.post_profile", name=benchmark.name):
+            post_profile = profile_module(inline_result.module, specs, obs=obs)
 
-    outputs_match = True
-    if check_outputs:
-        outputs_match = _outputs_equal(module, inline_result.module, specs)
+        comparison = OutputComparison(matches=True)
+        if check_outputs:
+            with tracer.span("benchmark.check_outputs", name=benchmark.name):
+                comparison = compare_outputs(module, inline_result.module, specs)
+            for divergence in comparison.divergences:
+                tracer.event(
+                    "output_divergence", benchmark=benchmark.name, detail=divergence
+                )
+                _LOG.warning("[%s] output divergence: %s", benchmark.name, divergence)
 
-    post_graph = build_call_graph(inline_result.module, post_profile)
-    post_classified = classify_sites(
-        inline_result.module, post_graph, post_profile, params
-    )
+        with tracer.span("benchmark.post_classify", name=benchmark.name):
+            post_graph = build_call_graph(inline_result.module, post_profile, obs=obs)
+            post_classified = classify_sites(
+                inline_result.module, post_graph, post_profile, params
+            )
+        attrs["outputs_match"] = comparison.matches
+        attrs["expansions"] = len(inline_result.records)
+    if obs.metrics.enabled:
+        obs.metrics.inc("pipeline.benchmarks")
+        if not comparison.matches:
+            obs.metrics.inc("pipeline.output_divergences", len(comparison.divergences))
     return BenchmarkResult(
         name=benchmark.name,
         c_lines=benchmark.c_lines,
@@ -110,22 +160,78 @@ def run_benchmark(
         inline=inline_result,
         post_profile=post_profile,
         post_classified=post_classified,
-        outputs_match=outputs_match,
+        outputs_match=comparison.matches,
         params=params,
+        output_divergences=comparison.divergences,
     )
 
 
-def _outputs_equal(module_a, module_b, specs: list[RunSpec]) -> bool:
-    for spec in specs:
+def compare_outputs(
+    module_a, module_b, specs: list[RunSpec]
+) -> OutputComparison:
+    """Run both modules over every spec and describe any divergence.
+
+    Each divergence names the input (label or index) and the channels
+    that differed: exit code, stdout (with the first differing byte
+    offset), or written files (missing/extra/different per file).
+    """
+    divergences: list[str] = []
+    for index, spec in enumerate(specs):
         result_a = run_once(module_a, spec)
         result_b = run_once(module_b, spec)
-        if (
-            result_a.exit_code != result_b.exit_code
-            or bytes(result_a.os.stdout) != bytes(result_b.os.stdout)
-            or result_a.os.written_files != result_b.os.written_files
-        ):
-            return False
-    return True
+        label = spec.label or f"input {index}"
+        problems: list[str] = []
+        if result_a.exit_code != result_b.exit_code:
+            problems.append(
+                f"exit code {result_a.exit_code} != {result_b.exit_code}"
+            )
+        stdout_a = bytes(result_a.os.stdout)
+        stdout_b = bytes(result_b.os.stdout)
+        if stdout_a != stdout_b:
+            problems.append(
+                "stdout differs at byte"
+                f" {_first_mismatch(stdout_a, stdout_b)}"
+                f" (lengths {len(stdout_a)} vs {len(stdout_b)})"
+            )
+        if result_a.os.written_files != result_b.os.written_files:
+            problems.append(
+                "written files differ: "
+                + _describe_file_diff(
+                    result_a.os.written_files, result_b.os.written_files
+                )
+            )
+        if problems:
+            divergences.append(f"{label}: " + "; ".join(problems))
+    return OutputComparison(matches=not divergences, divergences=divergences)
+
+
+def _first_mismatch(a: bytes, b: bytes) -> int:
+    for index, (byte_a, byte_b) in enumerate(zip(a, b)):
+        if byte_a != byte_b:
+            return index
+    return min(len(a), len(b))
+
+
+def _describe_file_diff(
+    files_a: dict[str, bytes], files_b: dict[str, bytes]
+) -> str:
+    parts: list[str] = []
+    for path in sorted(set(files_a) | set(files_b)):
+        if path not in files_b:
+            parts.append(f"{path} missing after inlining")
+        elif path not in files_a:
+            parts.append(f"{path} only written after inlining")
+        elif files_a[path] != files_b[path]:
+            parts.append(
+                f"{path} content differs at byte"
+                f" {_first_mismatch(files_a[path], files_b[path])}"
+            )
+    return ", ".join(parts)
+
+
+def _outputs_equal(module_a, module_b, specs: list[RunSpec]) -> bool:
+    """Back-compat wrapper around :func:`compare_outputs`."""
+    return compare_outputs(module_a, module_b, specs).matches
 
 
 def run_suite(
@@ -135,17 +241,30 @@ def run_suite(
     pre_optimize: bool = True,
     check_outputs: bool = True,
     progress: bool = False,
+    obs: Observability | None = None,
 ) -> list[BenchmarkResult]:
-    """Run the pipeline for every benchmark (or a named subset)."""
+    """Run the pipeline for every benchmark (or a named subset).
+
+    Progress goes through the ``repro.experiments`` logger; with
+    ``progress=True`` a stderr handler is attached (once) so the
+    messages stay visible from the CLI, while library users configure
+    or silence the ``repro`` logger themselves.
+    """
+    if progress:
+        enable_console_logging()
+    obs = resolve(obs)
     results = []
-    for benchmark in benchmark_suite():
-        if names is not None and benchmark.name not in names:
-            continue
-        if progress:
-            print(f"[{benchmark.name}] running ...", flush=True)
-        results.append(
-            run_benchmark(benchmark, scale, params, pre_optimize, check_outputs)
-        )
+    with obs.tracer.span("suite", scale=scale) as attrs:
+        for benchmark in benchmark_suite():
+            if names is not None and benchmark.name not in names:
+                continue
+            _LOG.info("[%s] running ...", benchmark.name)
+            results.append(
+                run_benchmark(
+                    benchmark, scale, params, pre_optimize, check_outputs, obs=obs
+                )
+            )
+        attrs["benchmarks"] = len(results)
     return results
 
 

@@ -721,7 +721,14 @@ class Parser:
 
 
 def parse_translation_unit(
-    text: str, filename: str = "<input>"
+    text: str, filename: str = "<input>", obs=None
 ) -> ast.TranslationUnit:
-    """Lex and parse preprocessed C-subset source text."""
-    return Parser(tokenize(text, filename)).parse()
+    """Lex and parse preprocessed C-subset source text.
+
+    ``obs`` is an optional :class:`repro.observability.Observability`;
+    when given, the token count is reported into its metrics.
+    """
+    tokens = tokenize(text, filename)
+    if obs is not None and obs.metrics.enabled:
+        obs.metrics.inc("frontend.tokens_lexed", len(tokens))
+    return Parser(tokens).parse()

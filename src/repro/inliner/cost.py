@@ -26,8 +26,20 @@ from repro.callgraph.graph import Arc, ArcKind, CallGraph
 from repro.il.function import CALL_OVERHEAD_BYTES, PARAM_WORD_BYTES
 from repro.il.module import ILModule
 from repro.inliner.params import InlineParameters
+from repro.observability.audit import DecisionReason
 
 INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class CostDecision:
+    """One cost-function verdict: the cost, why, and what it examined."""
+
+    cost: float
+    reason: DecisionReason
+    #: Values the reached clauses examined (weight, threshold, sizes,
+    #: limits, stack usage) — the audit log's cost inputs.
+    inputs: dict
 
 
 @dataclass
@@ -75,29 +87,47 @@ class CostModel:
 
     def cost(self, arc: Arc) -> float:
         """§2.3.3's cost; INFINITY means the arc must not be expanded."""
+        return self.evaluate(arc).cost
+
+    def evaluate(self, arc: Arc) -> CostDecision:
+        """§2.3.3's cost plus the clause that fired and its inputs."""
+        inputs: dict = {"weight": arc.weight}
         if arc.kind is not ArcKind.DIRECT:
-            return INFINITY
+            inputs["kind"] = arc.kind.value
+            return CostDecision(INFINITY, DecisionReason.NOT_DIRECT, inputs)
         if arc.caller == arc.callee:
             # Simple recursion is out of scope (§2.3): the recursive
             # call must target the original copy anyway.
-            return INFINITY
+            return CostDecision(INFINITY, DecisionReason.SELF_RECURSIVE, inputs)
         # Control-stack hazard (§2.3.2): expanding a call with high
         # stack usage *into a recursion* explodes the stack. The paper's
         # m(x)/n(x) example makes the caller's recursion the danger, its
         # cost function names the callee's; guard both.
+        stack_usage = self.control_stack_usage(arc)
+        inputs["stack_usage"] = stack_usage
+        inputs["stack_bound"] = self.params.stack_bound
+        inputs["callee_recursive"] = arc.callee in self.recursive
+        inputs["caller_recursive"] = arc.caller in self.recursive
         if (
             arc.callee in self.recursive or arc.caller in self.recursive
-        ) and self.control_stack_usage(arc) > self.params.stack_bound:
-            return INFINITY
+        ) and stack_usage > self.params.stack_bound:
+            return CostDecision(INFINITY, DecisionReason.RECURSIVE_LIMIT, inputs)
+        inputs["weight_threshold"] = self.params.weight_threshold
         if arc.weight < self.params.weight_threshold:
-            return INFINITY
+            return CostDecision(INFINITY, DecisionReason.BELOW_THRESHOLD, inputs)
         callee = self.module.functions[arc.callee]
         added = (
             self.sizes[arc.callee] + len(callee.params) + self.rets[arc.callee] - 1
         )
+        inputs["callee_size"] = self.sizes[arc.callee]
+        inputs["size_delta"] = added
+        inputs["program_size"] = self.program_size
+        inputs["size_limit"] = self.params.size_limit(self.original_size)
         if self.program_size + added > self.params.size_limit(self.original_size):
-            return INFINITY
-        return float(self.sizes[arc.callee])
+            return CostDecision(INFINITY, DecisionReason.SIZE_LIMIT, inputs)
+        return CostDecision(
+            float(self.sizes[arc.callee]), DecisionReason.ACCEPTED, inputs
+        )
 
     def commit(self, arc: Arc) -> None:
         """Account for an accepted expansion.

@@ -26,6 +26,8 @@ from repro.inliner.expand import ExpansionRecord, expand_call_site
 from repro.inliner.linearize import linearize
 from repro.inliner.params import InlineParameters
 from repro.inliner.select import SelectionResult, select_sites
+from repro.observability import Observability, resolve
+from repro.observability.audit import InlineDecision
 from repro.profiler.profile import ProfileData
 
 
@@ -54,6 +56,11 @@ class InlineResult:
     def expanded_sites(self) -> set[int]:
         return {record.site for record in self.records}
 
+    @property
+    def decisions(self) -> list[InlineDecision]:
+        """The audit log: one reason-coded record per considered arc."""
+        return self.selection.decisions
+
 
 class InlineExpander:
     """Runs the complete §3 pipeline on a copy of the module."""
@@ -67,6 +74,7 @@ class InlineExpander:
         remove_unreachable: bool = True,
         verify: bool = True,
         linearize_method: str = "hybrid",
+        obs: Observability | None = None,
     ):
         self._input = module
         self._profile = profile
@@ -75,16 +83,31 @@ class InlineExpander:
         self._remove_unreachable = remove_unreachable
         self._verify = verify
         self._linearize_method = linearize_method
+        self._obs = resolve(obs)
 
     def run(self) -> InlineResult:
+        obs = self._obs
+        tracer = obs.tracer
         module = self._input.clone()
         original_size = module.total_code_size()
-        graph = build_call_graph(module, self._profile)
-        classified = classify_sites(module, graph, self._profile, self._params)
-        sequence = linearize(module, self._profile, self._seed, self._linearize_method)
-        selection = select_sites(
-            module, graph, self._profile, sequence, self._params, seed=self._seed
-        )
+        with tracer.span("inline.callgraph"):
+            graph = build_call_graph(module, self._profile, obs=obs)
+        with tracer.span("inline.classify"):
+            classified = classify_sites(module, graph, self._profile, self._params)
+        with tracer.span("inline.linearize", method=self._linearize_method):
+            sequence = linearize(
+                module, self._profile, self._seed, self._linearize_method
+            )
+        with tracer.span("inline.select"):
+            selection = select_sites(
+                module,
+                graph,
+                self._profile,
+                sequence,
+                self._params,
+                seed=self._seed,
+                obs=obs,
+            )
 
         # Physical expansion follows the linear sequence: every selected
         # arc whose caller is the current function is expanded, so each
@@ -94,17 +117,31 @@ class InlineExpander:
         for arc in selection.selected:
             by_caller.setdefault(arc.caller, []).append(arc)
         records: list[ExpansionRecord] = []
-        for name in sequence:
-            for arc in by_caller.get(name, ()):
-                record = expand_call_site(module, arc.caller, arc.site)
-                arc.status = ArcStatus.EXPANDED
-                records.append(record)
+        with tracer.span("inline.expand") as expand_attrs:
+            for name in sequence:
+                for arc in by_caller.get(name, ()):
+                    record = expand_call_site(module, arc.caller, arc.site)
+                    arc.status = ArcStatus.EXPANDED
+                    records.append(record)
+            expand_attrs["expansions"] = len(records)
 
         removed: list[str] = []
         if self._remove_unreachable:
-            removed = eliminate_unreachable(module, build_call_graph(module))
+            with tracer.span("inline.cleanup") as cleanup_attrs:
+                removed = eliminate_unreachable(module, build_call_graph(module))
+                cleanup_attrs["removed_functions"] = len(removed)
         if self._verify:
-            verify_module(module)
+            with tracer.span("inline.verify"):
+                verify_module(module)
+        if obs.enabled:
+            obs.metrics.inc("inliner.expansions_performed", len(records))
+            obs.metrics.inc("inliner.functions_removed", len(removed))
+            obs.metrics.observe(
+                "inliner.code_growth",
+                (module.total_code_size() - original_size) / original_size
+                if original_size
+                else 0.0,
+            )
         return InlineResult(
             module=module,
             graph=graph,
@@ -124,8 +161,9 @@ def inline_module(
     params: InlineParameters | None = None,
     seed: int = 0,
     linearize_method: str = "hybrid",
+    obs: Observability | None = None,
 ) -> InlineResult:
     """One-call convenience wrapper around :class:`InlineExpander`."""
     return InlineExpander(
-        module, profile, params, seed, linearize_method=linearize_method
+        module, profile, params, seed, linearize_method=linearize_method, obs=obs
     ).run()

@@ -5,6 +5,11 @@ are marked not-expandable. The remaining arcs are visited from heaviest
 to lightest; each is accepted when the cost function says it is finite,
 and the cost model's size/frame state is updated immediately so later
 decisions see the grown caller.
+
+Every arc the selector considers — expandable or not — produces exactly
+one :class:`~repro.observability.audit.InlineDecision` in
+``SelectionResult.decisions``, so the audit log accounts for 100% of
+call-graph arcs.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from repro.il.module import ILModule
 from repro.inliner.cost import INFINITY, CostModel, make_cost_model
 from repro.inliner.linearize import order_index
 from repro.inliner.params import InlineParameters
+from repro.observability import Observability, resolve
+from repro.observability.audit import DecisionReason, InlineDecision
 from repro.profiler.profile import ProfileData
 
 
@@ -28,6 +35,9 @@ class SelectionResult:
     selected: list[Arc] = field(default_factory=list)
     rejected: list[Arc] = field(default_factory=list)
     not_expandable: list[Arc] = field(default_factory=list)
+    #: One audit record per considered arc (every call-site arc of the
+    #: graph appears exactly once).
+    decisions: list[InlineDecision] = field(default_factory=list)
     #: Projected program size after expansion (IL instructions).
     projected_size: int = 0
     original_size: int = 0
@@ -43,24 +53,50 @@ def select_sites(
     params: InlineParameters | None = None,
     cost_model: CostModel | None = None,
     seed: int = 0,
+    obs: Observability | None = None,
 ) -> SelectionResult:
     """Choose the arcs to expand, following the paper's §3.4."""
     params = params or InlineParameters()
+    obs = resolve(obs)
     model = cost_model or make_cost_model(module, graph, params)
     position = order_index(sequence)
     result = SelectionResult(original_size=model.program_size)
+
+    def audit(
+        arc: Arc,
+        reason: DecisionReason,
+        cost: float | None = None,
+        inputs: dict | None = None,
+    ) -> None:
+        result.decisions.append(
+            InlineDecision(
+                site=arc.site,
+                caller=arc.caller,
+                callee=arc.callee,
+                weight=arc.weight,
+                reason=reason,
+                cost=cost,
+                inputs=inputs if inputs is not None else {},
+            )
+        )
 
     expandable: list[Arc] = []
     for arc in graph.call_site_arcs():
         if arc.kind is not ArcKind.DIRECT:
             arc.status = ArcStatus.NOT_EXPANDABLE
             result.not_expandable.append(arc)
+            audit(arc, DecisionReason.NOT_DIRECT, inputs={"kind": arc.kind.value})
             continue
         callee_pos = position.get(arc.callee)
         caller_pos = position.get(arc.caller)
         if callee_pos is None or caller_pos is None or callee_pos >= caller_pos:
             arc.status = ArcStatus.NOT_EXPANDABLE
             result.not_expandable.append(arc)
+            audit(
+                arc,
+                DecisionReason.ORDER_VIOLATION,
+                inputs={"caller_position": caller_pos, "callee_position": callee_pos},
+            )
             continue
         arc.status = ArcStatus.EXPANDABLE
         expandable.append(arc)
@@ -75,15 +111,39 @@ def select_sites(
         if len(result.selected) >= params.max_expansions:
             arc.status = ArcStatus.REJECTED
             result.rejected.append(arc)
+            audit(
+                arc,
+                DecisionReason.MAX_EXPANSIONS,
+                inputs={"max_expansions": params.max_expansions},
+            )
             continue
-        if model.cost(arc) < INFINITY:
+        decision = model.evaluate(arc)
+        if decision.cost < INFINITY:
             arc.status = ArcStatus.TO_BE_EXPANDED
             model.commit(arc)
             result.selected.append(arc)
             result.expected_calls_eliminated += arc.weight
+            audit(arc, DecisionReason.ACCEPTED, decision.cost, decision.inputs)
         else:
             arc.status = ArcStatus.REJECTED
             result.rejected.append(arc)
+            audit(arc, decision.reason, inputs=decision.inputs)
 
     result.projected_size = model.program_size
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.inc("inliner.arcs_considered", len(result.decisions))
+        metrics.inc("inliner.arcs_selected", len(result.selected))
+        metrics.inc("inliner.arcs_rejected", len(result.rejected))
+        metrics.inc("inliner.arcs_not_expandable", len(result.not_expandable))
+        for decision in result.decisions:
+            metrics.inc(f"inliner.reason.{decision.reason.value}")
+        obs.tracer.event(
+            "inliner.selection",
+            considered=len(result.decisions),
+            selected=len(result.selected),
+            projected_size=result.projected_size,
+            original_size=result.original_size,
+            expected_calls_eliminated=result.expected_calls_eliminated,
+        )
     return result

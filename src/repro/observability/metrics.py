@@ -1,0 +1,86 @@
+"""Named counters, gauges, and histograms for the pipeline.
+
+Counters accumulate (``inc``), gauges hold the last value set
+(``gauge``), histograms keep count/total/min/max summaries
+(``observe``). :meth:`MetricsRegistry.snapshot` returns one plain dict
+suitable for JSON export; :class:`NullMetrics` discards everything.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class MetricsRegistry:
+    """Accumulates named metrics reported by pipeline stages."""
+
+    enabled = True
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._histograms: dict[str, list[float]] = {}  # [count, total, min, max]
+
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        stats = self._histograms.get(name)
+        if stats is None:
+            self._histograms[name] = [1, value, value, value]
+        else:
+            stats[0] += 1
+            stats[1] += value
+            stats[2] = min(stats[2], value)
+            stats[3] = max(stats[3], value)
+
+    # ------------------------------------------------------------------
+
+    def histogram(self, name: str) -> dict | None:
+        stats = self._histograms.get(name)
+        if stats is None:
+            return None
+        count, total, low, high = stats
+        return {
+            "count": count,
+            "total": total,
+            "min": low,
+            "max": high,
+            "mean": total / count if count else 0.0,
+        }
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: self.histogram(name) for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+class NullMetrics(MetricsRegistry):
+    """Discards everything; safe to call from hot paths."""
+
+    enabled = False
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass

@@ -1,0 +1,127 @@
+"""Structured tracing as JSONL span/event records.
+
+A :class:`Tracer` accumulates flat dict records. Spans nest: each span
+record carries its parent's id, its start offset (seconds since the
+tracer was created), and its duration. Events attach to the innermost
+open span. :meth:`Tracer.to_jsonl` / :meth:`Tracer.write` serialize the
+whole trace, one JSON object per line.
+
+:class:`NullTracer` is the zero-overhead default: ``span`` yields an
+attribute sink without touching the clock, and ``event``/``record``
+discard their input.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from contextlib import contextmanager
+
+_LOG = logging.getLogger("repro.trace")
+
+
+class Tracer:
+    """Collects span and event records with monotonic timestamps."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._origin = clock()
+        self._records: list[dict] = [
+            {"type": "trace_start", "unix_time": time.time()}
+        ]
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._origin
+
+    @contextmanager
+    def span(self, name: str, /, **attrs):
+        """Open a span; yields its attribute dict for late additions.
+
+        The record is emitted when the span closes, so attributes added
+        to the yielded dict inside the ``with`` body are included.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        start = self._now()
+        self._stack.append(span_id)
+        try:
+            yield attrs
+        finally:
+            self._stack.pop()
+            record = {
+                "type": "span",
+                "id": span_id,
+                "parent": parent,
+                "name": name,
+                "start": round(start, 6),
+                "seconds": round(self._now() - start, 6),
+            }
+            if attrs:
+                record["attrs"] = attrs
+            self._emit(record)
+
+    def event(self, name: str, /, **attrs) -> None:
+        """Emit a point-in-time record attached to the open span."""
+        record = {
+            "type": "event",
+            "name": name,
+            "t": round(self._now(), 6),
+            "span": self._stack[-1] if self._stack else None,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def record(self, record: dict) -> None:
+        """Emit a pre-built structured record (e.g. an inline decision)."""
+        record = dict(record)
+        record.setdefault("t", round(self._now(), 6))
+        self._emit(record)
+
+    def _emit(self, record: dict) -> None:
+        self._records.append(record)
+        if _LOG.isEnabledFor(logging.DEBUG):
+            _LOG.debug("%s", json.dumps(record, sort_keys=True, default=str))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(record, sort_keys=True, default=str)
+            for record in self._records
+        ) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+
+class NullTracer(Tracer):
+    """Discards everything; safe to call from hot paths."""
+
+    enabled = False
+
+    def __init__(self):  # no clock, no origin record
+        self._records = []
+
+    @contextmanager
+    def span(self, name: str, /, **attrs):
+        yield attrs
+
+    def event(self, name: str, /, **attrs) -> None:
+        pass
+
+    def record(self, record: dict) -> None:
+        pass

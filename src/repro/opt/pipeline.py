@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.il.function import ILFunction
 from repro.il.module import ILModule
+from repro.observability import resolve
 from repro.opt.constant_fold import fold_constants
 from repro.opt.cse import eliminate_common_subexpressions
 from repro.opt.copy_prop import propagate_copies
@@ -61,12 +62,26 @@ def optimize_function(
     return stats
 
 
-def optimize_module(module: ILModule, max_rounds: int = 8) -> OptimizationStats:
-    """Optimize every function of the module in place."""
+def optimize_module(
+    module: ILModule, max_rounds: int = 8, obs=None
+) -> OptimizationStats:
+    """Optimize every function of the module in place.
+
+    ``obs`` is an optional :class:`repro.observability.Observability`;
+    when given, per-pass change counts and the phase's wall time are
+    reported into it.
+    """
+    obs = resolve(obs)
     total = OptimizationStats()
-    for function in module.functions.values():
-        stats = optimize_function(function, max_rounds)
-        total.rounds = max(total.rounds, stats.rounds)
-        for name, count in stats.by_pass.items():
-            total.record(name, count)
+    with obs.tracer.span("opt.module", functions=len(module.functions)) as attrs:
+        for function in module.functions.values():
+            stats = optimize_function(function, max_rounds)
+            total.rounds = max(total.rounds, stats.rounds)
+            for name, count in stats.by_pass.items():
+                total.record(name, count)
+        attrs["changes"] = total.total_changes
+    if obs.metrics.enabled:
+        for name, count in total.by_pass.items():
+            obs.metrics.inc(f"opt.changes.{name}", count)
+        obs.metrics.inc("opt.modules_optimized")
     return total

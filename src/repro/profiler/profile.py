@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.il.module import ILModule
+from repro.observability import Observability, resolve
 from repro.vm.counters import Counters
 from repro.vm.machine import Machine, RunResult
 from repro.vm.os import VirtualOS
@@ -75,10 +76,18 @@ def run_once(
     spec: RunSpec | None = None,
     fuel: int = 2_000_000_000,
     collect_branches: bool = False,
+    obs: Observability | None = None,
 ) -> RunResult:
     """Execute ``module`` once under ``spec`` and return the result."""
+    obs = resolve(obs)
     os = spec.make_os() if spec is not None else VirtualOS()
-    machine = Machine(module, os, fuel=fuel, collect_branches=collect_branches)
+    machine = Machine(
+        module,
+        os,
+        fuel=fuel,
+        collect_branches=collect_branches,
+        metrics=obs.metrics if obs.metrics.enabled else None,
+    )
     return machine.run()
 
 
@@ -87,6 +96,7 @@ def profile_module(
     specs: list[RunSpec],
     fuel: int = 2_000_000_000,
     check_exit: bool = True,
+    obs: Observability | None = None,
 ) -> ProfileData:
     """Profile ``module`` over every input in ``specs``.
 
@@ -95,14 +105,22 @@ def profile_module(
     """
     if not specs:
         raise ValueError("profiling requires at least one input")
+    obs = resolve(obs)
     total = Counters()
-    for index, spec in enumerate(specs):
-        result = run_once(module, spec, fuel=fuel)
-        if check_exit and result.exit_code != 0:
+    with obs.tracer.span("profile.module", runs=len(specs)):
+        for index, spec in enumerate(specs):
             label = spec.label or f"run {index}"
-            raise RuntimeError(
-                f"profiling input {label!r} exited with {result.exit_code};"
-                f" stderr: {result.os.stderr_text()[:200]!r}"
-            )
-        total.merge(result.counters)
+            with obs.tracer.span("profile.run", label=label) as attrs:
+                result = run_once(module, spec, fuel=fuel, obs=obs)
+                attrs["exit_code"] = result.exit_code
+                attrs["il"] = result.counters.il
+                attrs["calls"] = result.counters.calls
+            if check_exit and result.exit_code != 0:
+                raise RuntimeError(
+                    f"profiling input {label!r} exited with {result.exit_code};"
+                    f" stderr: {result.os.stderr_text()[:200]!r}"
+                )
+            total.merge(result.counters)
+    if obs.metrics.enabled:
+        obs.metrics.inc("profiler.runs", len(specs))
     return ProfileData.from_counters(total, len(specs))

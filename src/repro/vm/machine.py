@@ -146,12 +146,16 @@ class Machine:
         code_layout: str = "sequential",
         layout_seed: int = 0,
         function_order: list[str] | None = None,
+        metrics=None,
     ):
         self.module = module
         self.os = os if os is not None else VirtualOS()
         self._stack_limit = _NULL_GUARD + stack_size
         self._fuel = fuel
         self._collect_branches = collect_branches
+        #: Optional repro.observability MetricsRegistry; dynamic counts
+        #: are reported into it once per run (never from the hot loop).
+        self._metrics = metrics
         #: Optional repro.icache.InstructionCache fed one access per
         #: executed instruction (slows execution; off by default).
         self.icache = icache
@@ -414,6 +418,13 @@ class Machine:
             exit_code = self._execute(entry, args)
         except ExitSignal as signal:
             exit_code = signal.code
+        if self._metrics is not None:
+            metrics = self._metrics
+            metrics.inc("vm.runs")
+            metrics.inc("vm.instructions_retired", self.counters.il)
+            metrics.inc("vm.control_transfers", self.counters.ct)
+            metrics.inc("vm.calls", self.counters.calls)
+            metrics.inc("vm.returns", self.counters.returns)
         return RunResult(exit_code, self.counters, self.os)
 
     def _setup_argv(self) -> list[int]:

@@ -56,9 +56,9 @@ class Benchmark:
     def make_runs(self, scale: str = "small") -> list[RunSpec]:
         return self.runs_factory(scale)
 
-    def compile(self, link_libc: bool = True) -> ILModule:
+    def compile(self, link_libc: bool = True, obs=None) -> ILModule:
         return compile_program(
-            self.source, filename=f"{self.name}.c", link_libc=link_libc
+            self.source, filename=f"{self.name}.c", link_libc=link_libc, obs=obs
         )
 
 
