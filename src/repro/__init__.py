@@ -22,6 +22,7 @@ from repro.inliner.manager import InlineExpander, InlineResult, inline_module
 from repro.inliner.params import InlineParameters
 from repro.observability import Observability
 from repro.opt import optimize_function, optimize_module
+from repro.pipeline import CompilationSession, PassManager, parse_pass_spec
 from repro.profiler.profile import (
     ProfileData,
     RunSpec,
@@ -34,11 +35,13 @@ from repro.vm.os import VirtualOS
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompilationSession",
     "InlineExpander",
     "InlineParameters",
     "InlineResult",
     "Machine",
     "Observability",
+    "PassManager",
     "ProfileData",
     "RunResult",
     "RunSpec",
@@ -48,6 +51,7 @@ __all__ = [
     "inline_module",
     "optimize_function",
     "optimize_module",
+    "parse_pass_spec",
     "profile_module",
     "run_once",
 ]

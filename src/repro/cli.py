@@ -7,13 +7,16 @@ Subcommands::
     impact-inline inline FILE.c [--stdin TEXT] [--arg A ...] [--dump]
         Profile the program on the given input, inline, re-run, and
         report the call decrease / code increase.
-    impact-inline tables [--scale small|full]
+    impact-inline tables [--scale small|full] [--jobs N] [--cache-dir [DIR]]
         Regenerate the paper's tables (same as python -m repro.experiments).
 
 ``run``, ``inline``, and ``tables`` accept ``--trace FILE`` (structured
 JSONL trace: phase spans, events, inline-decision audit records) and
 ``--metrics-out FILE`` (JSON snapshot of pipeline counters/gauges/
-histograms); see README "Observability".
+histograms); see README "Observability". ``tables`` additionally takes
+``--jobs N`` (parallel suite execution), ``--cache-dir [DIR]``
+(content-addressed compile/profile cache), and ``--passes SPEC``
+(custom pre-optimization pipeline); see README "Pipeline architecture".
 """
 
 from __future__ import annotations
@@ -110,6 +113,10 @@ def _cmd_inline(args: argparse.Namespace) -> int:
         source = handle.read()
     obs = _make_obs(args)
     module = compile_program(source, args.file, obs=obs)
+    if args.passes:
+        from repro.opt import optimize_module
+
+        optimize_module(module, obs=obs, pass_spec=args.passes)
     spec = _run_spec(args)
     if args.profile_file:
         from repro.profiler.serialize import load_profile
@@ -158,6 +165,12 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
     argv = [args.what, "--scale", args.scale]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.passes:
+        argv += ["--passes", args.passes]
     if args.trace:
         argv += ["--trace", args.trace]
     if args.metrics_out:
@@ -192,6 +205,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     inline_parser.add_argument("--threshold", type=float, default=10.0)
     inline_parser.add_argument("--growth", type=float, default=1.25)
+    inline_parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="SPEC",
+        help="optimization pass spec to run before profiling,"
+        " e.g. 'fold,jumpopt' (default: none)",
+    )
     inline_parser.add_argument("--dump", action="store_true")
     _add_obs_flags(inline_parser)
     inline_parser.set_defaults(func=_cmd_inline)
@@ -231,6 +251,28 @@ def main(argv: list[str] | None = None) -> int:
         choices=["table1", "table2", "table3", "table4", "breakdown", "all"],
     )
     tables_parser.add_argument("--scale", default="small", choices=["small", "full"])
+    tables_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run benchmarks on N worker threads (deterministic order)",
+    )
+    tables_parser.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="serve repeat compiles/profiles from an on-disk cache"
+        " (default DIR: .repro-cache)",
+    )
+    tables_parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="SPEC",
+        help="pre-optimization pass spec (see repro.pipeline)",
+    )
     _add_obs_flags(tables_parser)
     tables_parser.set_defaults(func=_cmd_tables)
 

@@ -74,6 +74,27 @@ def compile_program(
     obs: Observability | None = None,
 ) -> ILModule:
     """Compile C-subset source text into a verified, linked IL module."""
+    return compile_with_analysis(
+        source, filename, headers, defines, link_libc, entry, verify, obs=obs
+    ).module
+
+
+def compile_with_analysis(
+    source: str,
+    filename: str = "<input>",
+    headers: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+    link_libc: bool = True,
+    entry: str = "main",
+    verify: bool = True,
+    obs: Observability | None = None,
+) -> CompileResult:
+    """Like :func:`compile_program` but also returns the analysis.
+
+    Both drivers route through the same ``frontend.*`` spans and
+    metrics, so tools using the analysis-returning form are just as
+    visible to tracing.
+    """
     obs = resolve(obs)
     with obs.tracer.span("frontend.compile", file=filename):
         analysis = compile_to_analysis(
@@ -88,19 +109,4 @@ def compile_program(
         obs.metrics.inc("frontend.modules_compiled")
         obs.metrics.inc("frontend.functions_lowered", len(module.functions))
         obs.metrics.inc("frontend.il_instructions_emitted", module.total_code_size())
-    return module
-
-
-def compile_with_analysis(
-    source: str,
-    filename: str = "<input>",
-    headers: dict[str, str] | None = None,
-    defines: dict[str, str] | None = None,
-    link_libc: bool = True,
-    entry: str = "main",
-) -> CompileResult:
-    """Like :func:`compile_program` but also returns the analysis."""
-    analysis = compile_to_analysis(source, filename, headers, defines, link_libc)
-    module = lower_unit(analysis, entry)
-    verify_module(module)
     return CompileResult(module, analysis)

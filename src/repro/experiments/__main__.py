@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.experiments [table1|table2|table3|table4|breakdown|
                                  all|ablations] [--scale small|full]
+                                [--jobs N] [--cache-dir [DIR]]
+                                [--passes SPEC]
 """
 
 from __future__ import annotations
@@ -100,6 +102,29 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict to named benchmarks",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run benchmarks on N worker threads (deterministic order;"
+        " default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="serve repeat compiles/profiles from a content-addressed"
+        " on-disk cache (default DIR: .repro-cache)",
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="SPEC",
+        help="pre-optimization pass spec, e.g. 'fold,copyprop,cse,jumpopt,dce'",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -124,30 +149,50 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.what == "ablations":
-        print(render_points("Ablation A: weight threshold T.", threshold_sweep(args.scale)))
-        print()
         print(
             render_points(
-                "Ablation B: profile-guided vs. static heuristics.",
-                baseline_comparison(args.scale),
+                "Ablation A: weight threshold T.",
+                threshold_sweep(args.scale, jobs=args.jobs),
             )
         )
         print()
         print(
             render_points(
-                "Ablation C: code-growth limit.", growth_limit_sweep(args.scale)
+                "Ablation B: profile-guided vs. static heuristics.",
+                baseline_comparison(args.scale, jobs=args.jobs),
+            )
+        )
+        print()
+        print(
+            render_points(
+                "Ablation C: code-growth limit.",
+                growth_limit_sweep(args.scale, jobs=args.jobs),
             )
         )
         print()
         print(
             render_points(
                 "Ablation D: linearization order.",
-                linearization_comparison(args.scale),
+                linearization_comparison(args.scale, jobs=args.jobs),
             )
         )
         return 0
 
-    results = run_suite(args.scale, names=args.benchmarks, progress=True, obs=obs)
+    session = None
+    if args.cache_dir:
+        from repro.pipeline.session import CompilationSession
+
+        session = CompilationSession(cache_dir=args.cache_dir)
+
+    results = run_suite(
+        args.scale,
+        names=args.benchmarks,
+        progress=True,
+        obs=obs,
+        jobs=args.jobs,
+        session=session,
+        pass_spec=args.passes,
+    )
     print(_TABLES[args.what](results))
     if obs is not None:
         from repro.observability.export import write_metrics, write_trace

@@ -21,6 +21,7 @@ from repro.experiments.report import pct, render_table
 from repro.inliner.manager import InlineExpander
 from repro.inliner.params import InlineParameters
 from repro.opt import optimize_module
+from repro.pipeline.parallel import parallel_map
 from repro.profiler.profile import profile_module
 from repro.workloads.suite import benchmark_suite
 
@@ -40,6 +41,26 @@ def _prepare(benchmark, scale):
     return module, specs, profile
 
 
+def _prepare_suite(scale, jobs=1):
+    """Compile+pre-optimize+profile every benchmark (optionally parallel)."""
+    return parallel_map(
+        lambda benchmark, _obs: (_prepare(benchmark, scale), benchmark),
+        benchmark_suite(),
+        jobs,
+        worker_label="ablation-prepare",
+    )
+
+
+def _measure_all(prepared, one, jobs=1):
+    """Apply ``one`` to every prepared benchmark, in suite order."""
+    return parallel_map(
+        lambda entry, _obs: one(*entry[0]),
+        prepared,
+        jobs,
+        worker_label="ablation-measure",
+    )
+
+
 def _measure(module, inlined_module, specs, profile) -> tuple[float, float]:
     before = profile.avg_calls
     after_profile = profile_module(inlined_module, specs)
@@ -51,21 +72,23 @@ def _measure(module, inlined_module, specs, profile) -> tuple[float, float]:
 
 
 def threshold_sweep(
-    scale: str = "small", thresholds: tuple[float, ...] = (1, 10, 100, 1000)
+    scale: str = "small",
+    thresholds: tuple[float, ...] = (1, 10, 100, 1000),
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """Ablation A: sweep the arc-weight threshold T."""
     points = []
-    prepared = [
-        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
-    ]
+    prepared = _prepare_suite(scale, jobs)
     for threshold in thresholds:
         params = InlineParameters(weight_threshold=threshold)
-        incs, decs = [], []
-        for (module, specs, profile), _ in prepared:
+
+        def one(module, specs, profile, params=params):
             result = InlineExpander(module, profile, params).run()
-            inc, dec = _measure(module, result.module, specs, profile)
-            incs.append(inc)
-            decs.append(dec)
+            return _measure(module, result.module, specs, profile)
+
+        pairs = _measure_all(prepared, one, jobs)
+        incs = [inc for inc, _ in pairs]
+        decs = [dec for _, dec in pairs]
         points.append(
             AblationPoint(
                 f"T={threshold:g}", statistics.fmean(incs), statistics.fmean(decs)
@@ -77,20 +100,21 @@ def threshold_sweep(
 def growth_limit_sweep(
     scale: str = "small",
     factors: tuple[float, ...] = (1.0, 1.1, 1.25, 1.5, 2.0),
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """Ablation C: sweep the program-size cap."""
     points = []
-    prepared = [
-        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
-    ]
+    prepared = _prepare_suite(scale, jobs)
     for factor in factors:
         params = InlineParameters(size_limit_factor=factor)
-        incs, decs = [], []
-        for (module, specs, profile), _ in prepared:
+
+        def one(module, specs, profile, params=params):
             result = InlineExpander(module, profile, params).run()
-            inc, dec = _measure(module, result.module, specs, profile)
-            incs.append(inc)
-            decs.append(dec)
+            return _measure(module, result.module, specs, profile)
+
+        pairs = _measure_all(prepared, one, jobs)
+        incs = [inc for inc, _ in pairs]
+        decs = [dec for _, dec in pairs]
         points.append(
             AblationPoint(
                 f"limit={factor:g}x", statistics.fmean(incs), statistics.fmean(decs)
@@ -99,21 +123,23 @@ def growth_limit_sweep(
     return points
 
 
-def linearization_comparison(scale: str = "small") -> list[AblationPoint]:
+def linearization_comparison(
+    scale: str = "small", jobs: int = 1
+) -> list[AblationPoint]:
     """Ablation D: the paper's pure-weight order vs. the hybrid order."""
     points = []
-    prepared = [
-        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
-    ]
+    prepared = _prepare_suite(scale, jobs)
     for method in ("weight", "hybrid"):
-        incs, decs = [], []
-        for (module, specs, profile), _ in prepared:
+
+        def one(module, specs, profile, method=method):
             result = InlineExpander(
                 module, profile, linearize_method=method
             ).run()
-            inc, dec = _measure(module, result.module, specs, profile)
-            incs.append(inc)
-            decs.append(dec)
+            return _measure(module, result.module, specs, profile)
+
+        pairs = _measure_all(prepared, one, jobs)
+        incs = [inc for inc, _ in pairs]
+        decs = [dec for _, dec in pairs]
         points.append(
             AblationPoint(method, statistics.fmean(incs), statistics.fmean(decs))
         )
@@ -130,16 +156,16 @@ _BASELINES = (
 )
 
 
-def baseline_comparison(scale: str = "small") -> list[AblationPoint]:
+def baseline_comparison(
+    scale: str = "small", jobs: int = 1
+) -> list[AblationPoint]:
     """Ablation B: profile-guided vs. static heuristics, same size cap."""
     points = []
-    prepared = [
-        (_prepare(benchmark, scale), benchmark) for benchmark in benchmark_suite()
-    ]
+    prepared = _prepare_suite(scale, jobs)
     params = InlineParameters()
     for label, heuristic in _BASELINES:
-        incs, decs = [], []
-        for (module, specs, profile), _ in prepared:
+
+        def one(module, specs, profile, heuristic=heuristic):
             if heuristic is None:
                 inlined = InlineExpander(module, profile, params).run().module
             elif heuristic == "static-estimate":
@@ -151,9 +177,11 @@ def baseline_comparison(scale: str = "small") -> list[AblationPoint]:
                 inlined = InlineExpander(module, estimated, params).run().module
             else:
                 inlined = heuristic(module, params).module
-            inc, dec = _measure(module, inlined, specs, profile)
-            incs.append(inc)
-            decs.append(dec)
+            return _measure(module, inlined, specs, profile)
+
+        pairs = _measure_all(prepared, one, jobs)
+        incs = [inc for inc, _ in pairs]
+        decs = [dec for _, dec in pairs]
         points.append(
             AblationPoint(label, statistics.fmean(incs), statistics.fmean(decs))
         )

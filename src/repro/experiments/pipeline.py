@@ -23,9 +23,11 @@ from repro.inliner.manager import InlineExpander, InlineResult
 from repro.inliner.params import InlineParameters
 from repro.observability import Observability, enable_console_logging, resolve
 from repro.opt import optimize_module
+from repro.pipeline.parallel import parallel_map
+from repro.pipeline.session import CompilationSession
 from repro.profiler.profile import ProfileData, RunSpec, profile_module, run_once
 from repro.callgraph.build import build_call_graph
-from repro.workloads.suite import Benchmark, benchmark_suite
+from repro.workloads.suite import Benchmark, benchmark_names, benchmark_suite
 
 _LOG = logging.getLogger("repro.experiments")
 
@@ -103,20 +105,44 @@ def run_benchmark(
     pre_optimize: bool = True,
     check_outputs: bool = True,
     obs: Observability | None = None,
+    session: CompilationSession | None = None,
+    pass_spec: str | None = None,
 ) -> BenchmarkResult:
-    """Run the full experiment pipeline for one benchmark."""
+    """Run the full experiment pipeline for one benchmark.
+
+    With a :class:`~repro.pipeline.session.CompilationSession`, the
+    compile (including pre-optimization) and both profiling stages are
+    served content-addressed from its cache when possible; without one
+    every stage runs from scratch, exactly as before. ``pass_spec``
+    selects a custom pre-optimization pipeline (default: the full
+    five-pass set).
+    """
     params = params or InlineParameters()
     obs = resolve(obs)
     tracer = obs.tracer
     with tracer.span("benchmark", name=benchmark.name, scale=scale) as attrs:
-        with tracer.span("benchmark.compile", name=benchmark.name):
-            module = benchmark.compile(obs=obs)
-        if pre_optimize:
-            with tracer.span("benchmark.pre_optimize", name=benchmark.name):
-                optimize_module(module, obs=obs)
+        if session is not None:
+            with tracer.span("benchmark.compile", name=benchmark.name):
+                module = session.compile_benchmark(
+                    benchmark,
+                    pre_optimize=pre_optimize,
+                    pass_spec=pass_spec,
+                    obs=obs,
+                )
+        else:
+            with tracer.span("benchmark.compile", name=benchmark.name):
+                module = benchmark.compile(obs=obs)
+            if pre_optimize:
+                with tracer.span("benchmark.pre_optimize", name=benchmark.name):
+                    optimize_module(module, obs=obs, pass_spec=pass_spec)
         specs = benchmark.make_runs(scale)
         with tracer.span("benchmark.profile", name=benchmark.name):
-            profile = profile_module(module, specs, obs=obs)
+            if session is not None:
+                profile = session.profile(
+                    module, specs, scale=scale, params=params, obs=obs
+                )
+            else:
+                profile = profile_module(module, specs, obs=obs)
 
         with tracer.span("benchmark.inline", name=benchmark.name):
             expander = InlineExpander(module, profile, params, obs=obs)
@@ -127,7 +153,12 @@ def run_benchmark(
                 record["benchmark"] = benchmark.name
                 tracer.record(record)
         with tracer.span("benchmark.post_profile", name=benchmark.name):
-            post_profile = profile_module(inline_result.module, specs, obs=obs)
+            if session is not None:
+                post_profile = session.profile(
+                    inline_result.module, specs, scale=scale, params=params, obs=obs
+                )
+            else:
+                post_profile = profile_module(inline_result.module, specs, obs=obs)
 
         comparison = OutputComparison(matches=True)
         if check_outputs:
@@ -229,11 +260,6 @@ def _describe_file_diff(
     return ", ".join(parts)
 
 
-def _outputs_equal(module_a, module_b, specs: list[RunSpec]) -> bool:
-    """Back-compat wrapper around :func:`compare_outputs`."""
-    return compare_outputs(module_a, module_b, specs).matches
-
-
 def run_suite(
     scale: str = "small",
     params: InlineParameters | None = None,
@@ -242,8 +268,19 @@ def run_suite(
     check_outputs: bool = True,
     progress: bool = False,
     obs: Observability | None = None,
+    jobs: int = 1,
+    session: CompilationSession | None = None,
+    pass_spec: str | None = None,
 ) -> list[BenchmarkResult]:
     """Run the pipeline for every benchmark (or a named subset).
+
+    ``names`` must all be known benchmark names; unknown names raise
+    :class:`ValueError` rather than being silently skipped. With
+    ``jobs > 1`` the benchmarks run on a thread pool — results keep
+    suite order and per-worker trace/metric records are merged into the
+    parent ``obs`` — while ``jobs=1`` is the plain serial loop,
+    byte-identical to the historical behavior. A shared ``session``
+    serves compiles and profiles from its content-addressed cache.
 
     Progress goes through the ``repro.experiments`` logger; with
     ``progress=True`` a stderr handler is attached (once) so the
@@ -253,16 +290,52 @@ def run_suite(
     if progress:
         enable_console_logging()
     obs = resolve(obs)
-    results = []
+    if names is not None:
+        unknown = sorted(set(names) - set(benchmark_names()))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark name(s): {', '.join(unknown)};"
+                f" known: {', '.join(benchmark_names())}"
+            )
+    selected = [
+        benchmark
+        for benchmark in benchmark_suite()
+        if names is None or benchmark.name in names
+    ]
     with obs.tracer.span("suite", scale=scale) as attrs:
-        for benchmark in benchmark_suite():
-            if names is not None and benchmark.name not in names:
-                continue
-            _LOG.info("[%s] running ...", benchmark.name)
-            results.append(
-                run_benchmark(
-                    benchmark, scale, params, pre_optimize, check_outputs, obs=obs
+        if jobs <= 1:
+            results = []
+            for benchmark in selected:
+                _LOG.info("[%s] running ...", benchmark.name)
+                results.append(
+                    run_benchmark(
+                        benchmark,
+                        scale,
+                        params,
+                        pre_optimize,
+                        check_outputs,
+                        obs=obs,
+                        session=session,
+                        pass_spec=pass_spec,
+                    )
                 )
+        else:
+
+            def task(benchmark: Benchmark, child_obs) -> BenchmarkResult:
+                _LOG.info("[%s] running ...", benchmark.name)
+                return run_benchmark(
+                    benchmark,
+                    scale,
+                    params,
+                    pre_optimize,
+                    check_outputs,
+                    obs=child_obs,
+                    session=session,
+                    pass_spec=pass_spec,
+                )
+
+            results = parallel_map(
+                task, selected, jobs, obs=obs, worker_label="suite"
             )
         attrs["benchmarks"] = len(results)
     return results

@@ -16,18 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.callgraph.build import build_call_graph
-from repro.callgraph.graph import ArcStatus, CallGraph
-from repro.callgraph.reachability import eliminate_unreachable
+from repro.callgraph.graph import CallGraph
 from repro.il.module import ILModule
 from repro.il.verifier import verify_module
-from repro.inliner.classify import ClassifiedSites, classify_sites
-from repro.inliner.expand import ExpansionRecord, expand_call_site
-from repro.inliner.linearize import linearize
+from repro.inliner.classify import ClassifiedSites
+from repro.inliner.expand import ExpansionRecord
 from repro.inliner.params import InlineParameters
-from repro.inliner.select import SelectionResult, select_sites
+from repro.inliner.select import SelectionResult
 from repro.observability import Observability, resolve
 from repro.observability.audit import InlineDecision
+from repro.pipeline.manager import PassManager
+from repro.pipeline.passes import PassContext, get_pass
 from repro.profiler.profile import ProfileData
 
 
@@ -85,51 +84,36 @@ class InlineExpander:
         self._linearize_method = linearize_method
         self._obs = resolve(obs)
 
+    #: The §3 phase order, resolved through the global pass registry.
+    PHASES = ("callgraph", "classify", "linearize", "select", "expand")
+
     def run(self) -> InlineResult:
         obs = self._obs
         tracer = obs.tracer
         module = self._input.clone()
         original_size = module.total_code_size()
-        with tracer.span("inline.callgraph"):
-            graph = build_call_graph(module, self._profile, obs=obs)
-        with tracer.span("inline.classify"):
-            classified = classify_sites(module, graph, self._profile, self._params)
-        with tracer.span("inline.linearize", method=self._linearize_method):
-            sequence = linearize(
-                module, self._profile, self._seed, self._linearize_method
-            )
-        with tracer.span("inline.select"):
-            selection = select_sites(
-                module,
-                graph,
-                self._profile,
-                sequence,
-                self._params,
-                seed=self._seed,
-                obs=obs,
-            )
 
-        # Physical expansion follows the linear sequence: every selected
-        # arc whose caller is the current function is expanded, so each
-        # callee is final before anyone inlines it (minimal expansions,
-        # §2.7).
-        by_caller: dict[str, list] = {}
-        for arc in selection.selected:
-            by_caller.setdefault(arc.caller, []).append(arc)
-        records: list[ExpansionRecord] = []
-        with tracer.span("inline.expand") as expand_attrs:
-            for name in sequence:
-                for arc in by_caller.get(name, ()):
-                    record = expand_call_site(module, arc.caller, arc.site)
-                    arc.status = ArcStatus.EXPANDED
-                    records.append(record)
-            expand_attrs["expansions"] = len(records)
-
-        removed: list[str] = []
+        phases = list(self.PHASES)
         if self._remove_unreachable:
-            with tracer.span("inline.cleanup") as cleanup_attrs:
-                removed = eliminate_unreachable(module, build_call_graph(module))
-                cleanup_attrs["removed_functions"] = len(removed)
+            phases.append("cleanup")
+        manager = PassManager(
+            [get_pass(name) for name in phases], fixpoint=False
+        )
+        ctx = PassContext(
+            module=module,
+            profile=self._profile,
+            params=self._params,
+            seed=self._seed,
+            linearize_method=self._linearize_method,
+            obs=obs,
+        )
+        manager.run_module(module, ctx)
+        graph = ctx.state["graph"]
+        classified = ctx.state["classified"]
+        sequence = ctx.state["sequence"]
+        selection = ctx.state["selection"]
+        records: list[ExpansionRecord] = ctx.state.get("records", [])
+        removed: list[str] = ctx.state.get("removed", [])
         if self._verify:
             with tracer.span("inline.verify"):
                 verify_module(module)

@@ -47,6 +47,15 @@ class Observability:
         """A live observability context recording spans and metrics."""
         return cls(tracer=Tracer(), metrics=MetricsRegistry())
 
+    def absorb(self, child: "Observability", **attrs) -> None:
+        """Merge a worker's trace records and metrics into this context.
+
+        ``attrs`` (typically ``worker=<label>``) are stamped onto every
+        absorbed trace record so parallel records stay attributable.
+        """
+        self.tracer.absorb(child.tracer, **attrs)
+        self.metrics.merge(child.metrics)
+
 
 #: The shared no-op context every instrumented function falls back to.
 NULL_OBS = Observability(tracer=NullTracer(), metrics=NullMetrics())

@@ -39,6 +39,22 @@ class MetricsRegistry:
             stats[2] = min(stats[2], value)
             stats[3] = max(stats[3], value)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges take the
+        other's value, histogram summaries combine."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, stats in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = list(stats)
+            else:
+                mine[0] += stats[0]
+                mine[1] += stats[1]
+                mine[2] = min(mine[2], stats[2])
+                mine[3] = max(mine[3], stats[3])
+
     # ------------------------------------------------------------------
 
     def histogram(self, name: str) -> dict | None:
@@ -83,4 +99,7 @@ class NullMetrics(MetricsRegistry):
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge(self, other: "MetricsRegistry") -> None:
         pass

@@ -91,6 +91,39 @@ class Tracer:
         if _LOG.isEnabledFor(logging.DEBUG):
             _LOG.debug("%s", json.dumps(record, sort_keys=True, default=str))
 
+    def absorb(self, child: "Tracer", **attrs) -> None:
+        """Merge a child tracer's records into this trace.
+
+        Used by parallel suite execution: each worker records into its
+        own tracer, and the parent absorbs them afterwards. Child span
+        ids are renumbered past this tracer's id space; top-level child
+        spans are re-parented under the currently open span (if any);
+        ``attrs`` (e.g. ``worker="suite-3"``) are stamped onto every
+        absorbed record. Child timestamps are kept as recorded (they
+        are offsets from the child's own start).
+        """
+        if not self.enabled:
+            return
+        offset = self._next_id
+        parent_span = self._stack[-1] if self._stack else None
+        highest = 0
+        for record in child.records:
+            if record.get("type") == "trace_start":
+                continue
+            record = dict(record)
+            if "id" in record:
+                record["id"] += offset
+                highest = max(highest, record["id"])
+            if record.get("parent") is not None:
+                record["parent"] += offset
+            elif record.get("type") == "span":
+                record["parent"] = parent_span
+            if record.get("span") is not None:
+                record["span"] += offset
+            record.update(attrs)
+            self._records.append(record)
+        self._next_id = max(self._next_id, highest + 1)
+
     # ------------------------------------------------------------------
 
     @property
@@ -124,4 +157,7 @@ class NullTracer(Tracer):
         pass
 
     def record(self, record: dict) -> None:
+        pass
+
+    def absorb(self, child: "Tracer", **attrs) -> None:
         pass

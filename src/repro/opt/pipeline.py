@@ -1,84 +1,51 @@
-"""The optimization pipeline.
+"""The optimization pipeline (thin wrapper over the PassManager).
 
-Runs fold → copy-propagate → jump-optimize → DCE rounds until a round
-changes nothing (or the round limit hits). The paper applies constant
-folding and jump optimization before inlining and recommends the full
-set afterwards (§4.4); callers choose where in their pipeline to invoke
-this.
+Runs fold → copy-propagate → cse → jump-optimize → DCE rounds until a
+round changes nothing (or the round limit hits). The paper applies
+constant folding and jump optimization before inlining and recommends
+the full set afterwards (§4.4); callers choose where in their pipeline
+to invoke this.
+
+The pass order itself now lives in :mod:`repro.pipeline`: the default
+spec is :data:`repro.pipeline.passes.DEFAULT_OPT_SPEC`, and both
+entry points accept a ``pass_spec`` string (e.g.
+``"fold,copyprop,dce"``) to run a custom pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.il.function import ILFunction
 from repro.il.module import ILModule
 from repro.observability import resolve
-from repro.opt.constant_fold import fold_constants
-from repro.opt.cse import eliminate_common_subexpressions
-from repro.opt.copy_prop import propagate_copies
-from repro.opt.dce import eliminate_dead_code
-from repro.opt.jump_opt import optimize_jumps
+from repro.pipeline.manager import PassManager, PassStats
 
-
-@dataclass
-class OptimizationStats:
-    """Per-pass change counts accumulated over all rounds."""
-
-    rounds: int = 0
-    by_pass: dict[str, int] = field(default_factory=dict)
-
-    def record(self, name: str, count: int) -> None:
-        self.by_pass[name] = self.by_pass.get(name, 0) + count
-
-    @property
-    def total_changes(self) -> int:
-        return sum(self.by_pass.values())
-
-
-_PASSES = (
-    ("constant-fold", fold_constants),
-    ("copy-propagate", propagate_copies),
-    ("cse", eliminate_common_subexpressions),
-    ("jump-optimize", optimize_jumps),
-    ("dead-code", eliminate_dead_code),
-)
+#: Back-compat name: per-pass change counts accumulated over all rounds.
+OptimizationStats = PassStats
 
 
 def optimize_function(
-    function: ILFunction, max_rounds: int = 8
-) -> OptimizationStats:
+    function: ILFunction, max_rounds: int = 8, pass_spec: str | None = None
+) -> PassStats:
     """Optimize one function in place to a fixpoint."""
-    stats = OptimizationStats()
-    for _ in range(max_rounds):
-        round_changes = 0
-        for name, pass_fn in _PASSES:
-            count = pass_fn(function)
-            stats.record(name, count)
-            round_changes += count
-        stats.rounds += 1
-        if round_changes == 0:
-            break
-    return stats
+    return PassManager.from_spec(pass_spec).run_function(function, max_rounds)
 
 
 def optimize_module(
-    module: ILModule, max_rounds: int = 8, obs=None
-) -> OptimizationStats:
+    module: ILModule, max_rounds: int = 8, obs=None, pass_spec: str | None = None
+) -> PassStats:
     """Optimize every function of the module in place.
 
     ``obs`` is an optional :class:`repro.observability.Observability`;
     when given, per-pass change counts and the phase's wall time are
-    reported into it.
+    reported into it. ``pass_spec`` selects a custom pipeline
+    (default: the full five-pass set).
     """
     obs = resolve(obs)
-    total = OptimizationStats()
+    manager = PassManager.from_spec(pass_spec)
+    total = PassStats()
     with obs.tracer.span("opt.module", functions=len(module.functions)) as attrs:
         for function in module.functions.values():
-            stats = optimize_function(function, max_rounds)
-            total.rounds = max(total.rounds, stats.rounds)
-            for name, count in stats.by_pass.items():
-                total.record(name, count)
+            total.merge(manager.run_function(function, max_rounds, obs=obs))
         attrs["changes"] = total.total_changes
     if obs.metrics.enabled:
         for name, count in total.by_pass.items():

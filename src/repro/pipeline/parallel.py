@@ -1,0 +1,49 @@
+"""Deterministic parallel fan-out for suite and ablation runs.
+
+:func:`parallel_map` runs one task per item on a thread pool and
+returns results in item order, so ``jobs=N`` output is indistinguishable
+from serial output. Each worker records into its own forked
+:class:`~repro.observability.Observability`; the children are absorbed
+into the parent (in item order) after every task finishes, so traces
+and metrics stay whole — each absorbed record is tagged with its
+worker's label.
+
+``jobs=1`` short-circuits to a plain loop over the parent context,
+byte-identical to the historical serial code path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.observability import Observability, resolve
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T, Observability], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    obs: Observability | None = None,
+    worker_label: str = "worker",
+) -> list[R]:
+    """Map ``fn(item, obs)`` over ``items``, preserving item order."""
+    parent = resolve(obs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item, parent) for item in items]
+    children: list[Observability | None] = [
+        Observability.create() if parent.enabled else None for _ in items
+    ]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(fn, item, resolve(child))
+            for item, child in zip(items, children)
+        ]
+        results = [future.result() for future in futures]
+    for index, child in enumerate(children):
+        if child is not None:
+            parent.absorb(child, worker=f"{worker_label}-{index}")
+    return results

@@ -430,3 +430,66 @@ int main(void) {
         assert all(d["benchmark"] == "tee" for d in decisions)
         snapshot = json.loads(metrics.read_text())
         assert snapshot["counters"]["pipeline.benchmarks"] == 1
+
+
+class TestCompileWithAnalysisObservability:
+    def test_obs_threads_through_same_spans(self):
+        from repro.compiler import compile_with_analysis
+
+        obs = Observability.create()
+        result = compile_with_analysis(
+            "#include <sys.h>\nint main(void){ putchar('x'); return 0; }\n",
+            obs=obs,
+        )
+        assert result.module.functions
+        span_names = {
+            r["name"] for r in obs.tracer.records if r["type"] == "span"
+        }
+        assert {
+            "frontend.compile",
+            "frontend.preprocess",
+            "frontend.parse",
+            "frontend.analyze",
+            "frontend.lower",
+            "frontend.verify",
+        } <= span_names
+        assert obs.metrics.counters["frontend.modules_compiled"] == 1
+
+    def test_default_stays_silent(self):
+        from repro.compiler import compile_with_analysis
+
+        result = compile_with_analysis(
+            "#include <sys.h>\nint main(void){ return 0; }\n"
+        )
+        assert result.analysis is not None
+
+
+class TestObservabilityAbsorb:
+    def test_absorb_renumbers_and_tags(self):
+        parent = Observability.create()
+        child = Observability.create()
+        with child.tracer.span("child.work"):
+            child.tracer.event("tick")
+        child.metrics.inc("widgets", 3)
+        with parent.tracer.span("parent.outer"):
+            parent.absorb(child, worker="w-0")
+        records = parent.tracer.records
+        child_span = next(
+            r for r in records if r["type"] == "span" and r["name"] == "child.work"
+        )
+        outer = next(
+            r for r in records if r["type"] == "span" and r["name"] == "parent.outer"
+        )
+        assert child_span["worker"] == "w-0"
+        assert child_span["parent"] == outer["id"]
+        assert parent.metrics.counters["widgets"] == 3
+        ids = [r["id"] for r in records if "id" in r]
+        assert len(ids) == len(set(ids))
+
+    def test_null_obs_absorb_is_noop(self):
+        from repro.observability import NULL_OBS
+
+        child = Observability.create()
+        child.metrics.inc("x")
+        NULL_OBS.absorb(child)  # must not raise or record anything
+        assert NULL_OBS.tracer.records == []

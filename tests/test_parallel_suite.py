@@ -1,0 +1,118 @@
+"""Determinism and caching tests for parallel suite execution."""
+
+import pytest
+
+from repro.experiments.pipeline import run_suite
+from repro.experiments.tables import all_tables, table4
+from repro.observability import Observability
+from repro.pipeline import CompilationSession, parallel_map
+
+# In suite (Table 1) order — run_suite returns results in suite order.
+NAMES = ["cmp", "tee", "wc"]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_suite("small", names=NAMES, jobs=1)
+
+
+class TestUnknownNames:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown benchmark name"):
+            run_suite("small", names=["wc", "nonesuch"])
+
+    def test_error_lists_every_unknown_name(self):
+        with pytest.raises(ValueError, match="nonesuch, other"):
+            run_suite("small", names=["other", "wc", "nonesuch"])
+
+    def test_known_subset_still_works(self, serial_results):
+        assert [r.name for r in serial_results] == NAMES
+
+
+class TestParallelDeterminism:
+    def test_jobs2_equals_jobs1(self, serial_results):
+        parallel = run_suite("small", names=NAMES, jobs=2)
+        assert [r.name for r in parallel] == [r.name for r in serial_results]
+        for serial, threaded in zip(serial_results, parallel):
+            assert threaded.outputs_match == serial.outputs_match
+            assert threaded.output_divergences == serial.output_divergences
+            assert threaded.code_increase == serial.code_increase
+            assert threaded.call_decrease == serial.call_decrease
+            assert threaded.runs == serial.runs
+        assert all_tables(parallel) == all_tables(serial_results)
+
+    def test_jobs_exceeding_benchmarks(self, serial_results):
+        parallel = run_suite("small", names=NAMES, jobs=16)
+        assert table4(parallel) == table4(serial_results)
+
+    def test_worker_observability_merged(self):
+        obs = Observability.create()
+        run_suite("small", names=NAMES, jobs=2, obs=obs)
+        assert obs.metrics.counters["pipeline.benchmarks"] == len(NAMES)
+        benchmark_spans = [
+            r
+            for r in obs.tracer.records
+            if r["type"] == "span" and r["name"] == "benchmark"
+        ]
+        assert len(benchmark_spans) == len(NAMES)
+        assert {span["attrs"]["name"] for span in benchmark_spans} == set(NAMES)
+        # Every absorbed record is tagged with its worker label, and ids
+        # stay unique after renumbering.
+        assert all("worker" in span for span in benchmark_spans)
+        ids = [r["id"] for r in obs.tracer.records if "id" in r]
+        assert len(ids) == len(set(ids))
+
+
+class TestSessionCaching:
+    def test_warm_suite_run_is_all_hits(self, serial_results):
+        session = CompilationSession()
+        cold_obs = Observability.create()
+        run_suite("small", names=NAMES, session=session, obs=cold_obs)
+        assert cold_obs.metrics.counters["pipeline.cache.misses"] > 0
+
+        warm_obs = Observability.create()
+        warm = run_suite("small", names=NAMES, session=session, obs=warm_obs)
+        counters = warm_obs.metrics.counters
+        hits = counters.get("pipeline.cache.hits", 0)
+        misses = counters.get("pipeline.cache.misses", 0)
+        assert hits / (hits + misses) >= 0.9
+        # Zero recompiles and zero re-profiles on the warm run.
+        assert counters.get("frontend.modules_compiled", 0) == 0
+        assert counters.get("profiler.runs", 0) == 0
+        # And the cached artifacts reproduce identical tables.
+        assert all_tables(warm) == all_tables(serial_results)
+
+    def test_cached_run_matches_uncached(self, serial_results):
+        session = CompilationSession()
+        cached = run_suite("small", names=NAMES, session=session)
+        assert all_tables(cached) == all_tables(serial_results)
+
+    def test_parallel_and_cached_together(self, serial_results):
+        session = CompilationSession()
+        results = run_suite("small", names=NAMES, jobs=2, session=session)
+        assert all_tables(results) == all_tables(serial_results)
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        items = list(range(20))
+        assert parallel_map(lambda x, _obs: x * x, items, jobs=4) == [
+            x * x for x in items
+        ]
+
+    def test_serial_uses_parent_obs(self):
+        obs = Observability.create()
+        parallel_map(
+            lambda x, child: child.metrics.inc("tick"), [1, 2], jobs=1, obs=obs
+        )
+        assert obs.metrics.counters["tick"] == 2
+
+    def test_parallel_metrics_merge(self):
+        obs = Observability.create()
+        parallel_map(
+            lambda x, child: child.metrics.inc("tick"),
+            [1, 2, 3, 4],
+            jobs=2,
+            obs=obs,
+        )
+        assert obs.metrics.counters["tick"] == 4

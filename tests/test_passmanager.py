@@ -1,0 +1,173 @@
+"""Tests for the unified pass registry and PassManager."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.il.printer import format_module
+from repro.inliner.manager import InlineExpander
+from repro.inliner.params import InlineParameters
+from repro.observability import Observability
+from repro.opt import OptimizationStats, optimize_function, optimize_module
+from repro.pipeline import (
+    DEFAULT_OPT_SPEC,
+    PassContext,
+    PassManager,
+    PassStats,
+    available_passes,
+    get_pass,
+    parse_pass_spec,
+)
+from repro.profiler.profile import RunSpec, profile_module
+
+SOURCE = """
+#include <sys.h>
+int square(int x) { return x * x; }
+int add(int a, int b) { return a + b; }
+int main(void) {
+    int i; int total = 0;
+    for (i = 0; i < 50; i = i + 1) total = add(total, square(i));
+    print_int(total); putchar(10);
+    return 0;
+}
+"""
+
+
+def _fresh_module():
+    return compile_program(SOURCE, "passmanager_test.c")
+
+
+class TestRegistry:
+    def test_all_builtin_passes_registered(self):
+        names = available_passes()
+        for expected in (
+            "constant-fold", "copy-propagate", "cse", "jump-optimize",
+            "dead-code", "callgraph", "classify", "linearize", "select",
+            "expand", "cleanup",
+        ):
+            assert expected in names
+
+    def test_pass_protocol_fields(self):
+        for name in available_passes():
+            pass_ = get_pass(name)
+            assert pass_.name == name
+            assert pass_.level in ("function", "module")
+            assert isinstance(pass_.metrics, tuple)
+
+    def test_aliases_resolve_to_canonical(self):
+        assert get_pass("fold").name == "constant-fold"
+        assert get_pass("copyprop").name == "copy-propagate"
+        assert get_pass("jumpopt").name == "jump-optimize"
+        assert get_pass("dce").name == "dead-code"
+
+    def test_parse_spec_order_preserved(self):
+        passes = parse_pass_spec("dce, fold ,cse")
+        assert [p.name for p in passes] == ["dead-code", "constant-fold", "cse"]
+
+    def test_unknown_pass_raises_with_menu(self):
+        with pytest.raises(ValueError, match="unknown pass 'bogus'"):
+            parse_pass_spec("fold,bogus")
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(ValueError, match="empty pass spec"):
+            parse_pass_spec(" , ")
+
+
+class TestFunctionPipeline:
+    def test_default_spec_matches_optimize_module(self):
+        reference = _fresh_module()
+        stats_ref = optimize_module(reference)
+
+        managed = _fresh_module()
+        manager = PassManager.from_spec(None)
+        total = PassStats()
+        for function in managed.functions.values():
+            total.merge(manager.run_function(function))
+
+        assert format_module(managed) == format_module(reference)
+        assert total.by_pass == stats_ref.by_pass
+        assert total.rounds == stats_ref.rounds
+
+    def test_optimization_stats_is_pass_stats(self):
+        assert OptimizationStats is PassStats
+
+    def test_custom_spec_runs_only_named_passes(self):
+        module = _fresh_module()
+        stats = optimize_module(module, pass_spec="fold,dce")
+        assert set(stats.by_pass) == {"constant-fold", "dead-code"}
+
+    def test_optimize_function_spec(self):
+        module = _fresh_module()
+        stats = optimize_function(module.functions["main"], pass_spec="fold")
+        assert set(stats.by_pass) == {"constant-fold"}
+        assert stats.rounds >= 1
+
+    def test_fixpoint_is_idempotent(self):
+        module = _fresh_module()
+        optimize_module(module)
+        again = optimize_module(module)
+        assert again.total_changes == 0
+
+    def test_run_function_rejects_module_passes(self):
+        manager = PassManager([get_pass("callgraph")])
+        module = _fresh_module()
+        with pytest.raises(ValueError, match="module-level"):
+            manager.run_function(module.functions["main"])
+
+    def test_per_pass_metrics_reported(self):
+        obs = Observability.create()
+        module = _fresh_module()
+        optimize_module(module, obs=obs)
+        histograms = obs.metrics.snapshot()["histograms"]
+        assert any(
+            name.startswith("pipeline.pass.") and name.endswith(".seconds")
+            for name in histograms
+        )
+
+
+class TestInlinePhases:
+    def test_phases_populate_context_state(self):
+        module = _fresh_module()
+        profile = profile_module(module, [RunSpec()])
+        ctx = PassContext(
+            module=module.clone(), profile=profile, params=InlineParameters()
+        )
+        manager = PassManager(
+            [get_pass(n) for n in ("callgraph", "classify", "linearize",
+                                   "select", "expand", "cleanup")],
+            fixpoint=False,
+        )
+        manager.run_module(ctx.module, ctx)
+        assert "graph" in ctx.state
+        assert "main" in ctx.state["sequence"]
+        assert ctx.state["selection"].selected
+        assert ctx.state["records"]
+
+    def test_expander_equivalent_to_manual_phases(self):
+        module = _fresh_module()
+        profile = profile_module(module, [RunSpec()])
+        result = InlineExpander(module, profile).run()
+        assert result.records
+        assert result.module.total_code_size() == result.final_size
+        # The §3 phase spans still appear under their historical names.
+        obs = Observability.create()
+        InlineExpander(module, profile, obs=obs).run()
+        span_names = {
+            r["name"] for r in obs.tracer.records if r["type"] == "span"
+        }
+        for expected in (
+            "inline.callgraph", "inline.classify", "inline.linearize",
+            "inline.select", "inline.expand", "inline.cleanup",
+        ):
+            assert expected in span_names
+
+
+class TestSpecConstants:
+    def test_default_opt_spec_parses(self):
+        assert [p.name for p in parse_pass_spec(DEFAULT_OPT_SPEC)] == [
+            "constant-fold", "copy-propagate", "cse", "jump-optimize",
+            "dead-code",
+        ]
+
+    def test_manager_spec_roundtrip(self):
+        manager = PassManager.from_spec("fold,dce")
+        assert manager.spec == "constant-fold,dead-code"

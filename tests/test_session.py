@@ -1,0 +1,170 @@
+"""Tests for the CompilationSession content-addressed artifact cache."""
+
+import os
+
+import pytest
+
+from repro.il.printer import format_module
+from repro.observability import Observability
+from repro.pipeline import (
+    CompilationSession,
+    module_cache_key,
+    module_content_key,
+    profile_cache_key,
+)
+from repro.profiler.profile import RunSpec
+from repro.vm.machine import Machine
+
+SOURCE = """
+#include <sys.h>
+int triple(int x) { return 3 * x; }
+int main(void) { print_int(triple(14)); putchar(10); return 0; }
+"""
+
+OTHER_SOURCE = """
+#include <sys.h>
+int main(void) { putchar('z'); return 0; }
+"""
+
+
+def _cache_counters(obs):
+    return {
+        k.removeprefix("pipeline.cache."): v
+        for k, v in obs.metrics.counters.items()
+        if k.startswith("pipeline.cache.")
+    }
+
+
+class TestKeys:
+    def test_module_key_stable_and_sensitive(self):
+        key = module_cache_key(SOURCE, None, True, "fold", "main")
+        assert key == module_cache_key(SOURCE, None, True, "fold", "main")
+        assert key != module_cache_key(SOURCE + " ", None, True, "fold", "main")
+        assert key != module_cache_key(SOURCE, {"N": "2"}, True, "fold", "main")
+        assert key != module_cache_key(SOURCE, None, False, "fold", "main")
+        assert key != module_cache_key(SOURCE, None, True, "dce", "main")
+
+    def test_content_key_tracks_code_changes(self):
+        session = CompilationSession()
+        module = session.compiled_module(SOURCE)
+        key = module_content_key(module)
+        assert key == module_content_key(module.clone())
+        mutated = module.clone()
+        mutated.functions["main"].body.pop()
+        assert module_content_key(mutated) != key
+
+    def test_profile_key_depends_on_inputs(self):
+        session = CompilationSession()
+        module = session.compiled_module(SOURCE)
+        spec_a = [RunSpec(stdin=b"a")]
+        spec_b = [RunSpec(stdin=b"b")]
+        assert profile_cache_key(module, spec_a) != profile_cache_key(
+            module, spec_b
+        )
+        assert profile_cache_key(module, spec_a) == profile_cache_key(
+            module.clone(), [RunSpec(stdin=b"a")]
+        )
+
+
+class TestMemoryCache:
+    def test_second_compile_is_a_hit(self):
+        obs = Observability.create()
+        session = CompilationSession(obs=obs)
+        session.compiled_module(SOURCE)
+        assert _cache_counters(obs) == {"misses": 1}
+        session.compiled_module(SOURCE)
+        assert _cache_counters(obs) == {"misses": 1, "hits": 1}
+
+    def test_returned_module_is_isolated_clone(self):
+        session = CompilationSession()
+        first = session.compiled_module(SOURCE)
+        text = format_module(first)
+        first.functions["main"].body.pop()  # vandalize the caller's copy
+        second = session.compiled_module(SOURCE)
+        assert format_module(second) == text
+        assert Machine(second).run().exit_code == 0
+
+    def test_profile_cached_and_copied(self):
+        obs = Observability.create()
+        session = CompilationSession(obs=obs)
+        module = session.compiled_module(SOURCE)
+        specs = [RunSpec()]
+        profile = session.profile(module, specs)
+        profile.node_weights["main"] = -1.0  # vandalize the caller's copy
+        again = session.profile(module, specs)
+        assert again.node_weights["main"] != -1.0
+        assert _cache_counters(obs)["hits"] == 1
+
+    def test_eviction_counted(self):
+        obs = Observability.create()
+        session = CompilationSession(max_entries=1, obs=obs)
+        session.compiled_module(SOURCE)
+        session.compiled_module(OTHER_SOURCE)
+        assert _cache_counters(obs)["evictions"] == 1
+        # The first entry is gone: compiling it again is a miss.
+        session.compiled_module(SOURCE)
+        assert _cache_counters(obs)["misses"] == 3
+
+
+class TestDiskStore:
+    def test_roundtrip_across_sessions(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        warm_obs = Observability.create()
+        producer = CompilationSession(cache_dir=cache_dir)
+        baseline = format_module(producer.compiled_module(SOURCE))
+
+        consumer = CompilationSession(cache_dir=cache_dir, obs=warm_obs)
+        module = consumer.compiled_module(SOURCE)
+        counters = _cache_counters(warm_obs)
+        assert counters.get("disk_hits") == 1
+        assert counters.get("misses") is None
+        assert format_module(module) == baseline
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        CompilationSession(cache_dir=cache_dir).compiled_module(SOURCE)
+        store = tmp_path / "cache" / "v1"
+        entries = list(store.iterdir())
+        assert entries
+        for entry in entries:
+            entry.write_bytes(b"\x00garbage not pickle")
+
+        obs = Observability.create()
+        session = CompilationSession(cache_dir=cache_dir, obs=obs)
+        module = session.compiled_module(SOURCE)  # must not raise
+        assert Machine(module).run().exit_code == 0
+        assert _cache_counters(obs)["misses"] == 1
+
+    def test_unwritable_dir_never_breaks_compiles(self, tmp_path, monkeypatch):
+        session = CompilationSession(cache_dir=str(tmp_path / "cache"))
+        monkeypatch.setattr(os, "makedirs", _raise_oserror)
+        module = session.compiled_module(SOURCE)  # store fails silently
+        assert Machine(module).run().exit_code == 0
+
+    def test_clear_disk(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        session = CompilationSession(cache_dir=cache_dir)
+        session.compiled_module(SOURCE)
+        assert list((tmp_path / "cache" / "v1").iterdir())
+        session.clear(disk=True)
+        assert not list((tmp_path / "cache" / "v1").iterdir())
+        obs = Observability.create()
+        again = CompilationSession(cache_dir=cache_dir, obs=obs)
+        again.compiled_module(SOURCE)
+        assert _cache_counters(obs)["misses"] == 1
+
+
+def _raise_oserror(*args, **kwargs):
+    raise OSError("read-only file system")
+
+
+class TestPreOptimizedCaching:
+    def test_pass_spec_distinguishes_entries(self):
+        obs = Observability.create()
+        session = CompilationSession(obs=obs)
+        plain = session.compiled_module(SOURCE, pass_spec="")
+        optimized = session.compiled_module(
+            SOURCE, pass_spec="constant-fold,copy-propagate,cse,jump-optimize,dead-code"
+        )
+        assert _cache_counters(obs)["misses"] == 2
+        assert optimized.total_code_size() <= plain.total_code_size()
