@@ -18,6 +18,20 @@ _STATUS_COLORS = {
     ArcStatus.EXPANDABLE: "black",
 }
 
+#: Arc colors keyed by inline-audit reason code (see
+#: :mod:`repro.observability.audit`): accepted arcs green, cold arcs
+#: gray, hazard rejections red.
+_REASON_COLORS = {
+    "ACCEPTED": "forestgreen",
+    "BELOW_THRESHOLD": "gray",
+    "NOT_DIRECT": "gray",
+    "ORDER_VIOLATION": "red",
+    "SELF_RECURSIVE": "red",
+    "RECURSIVE_LIMIT": "red",
+    "SIZE_LIMIT": "red",
+    "MAX_EXPANSIONS": "red",
+}
+
 
 def _quote(name: str) -> str:
     return '"' + name.replace('"', '\\"') + '"'
@@ -27,13 +41,17 @@ def to_dot(
     graph: CallGraph,
     include_synthetic: bool = False,
     min_weight: float = 0.0,
+    decisions: dict[int, str] | None = None,
 ) -> str:
     """Render the call graph as DOT text.
 
     Node labels carry execution counts, arc labels invocation counts;
     arc colors encode the selection status. Synthetic worst-case arcs
     are hidden unless ``include_synthetic`` is set; ``min_weight`` can
-    hide cold arcs in large graphs.
+    hide cold arcs in large graphs. With ``decisions`` (a call-site →
+    reason-code map from the inline-audit log) arcs are instead colored
+    and labeled by the selector's reason for each site, making a
+    selection run visually debuggable.
     """
     lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
     for node in graph.nodes.values():
@@ -50,6 +68,10 @@ def to_dot(
             continue
         color = _STATUS_COLORS.get(arc.status, "black")
         label = f"{arc.weight:g}" if arc.kind is not ArcKind.SYNTHETIC else ""
+        if decisions is not None and arc.site in decisions:
+            reason = decisions[arc.site]
+            color = _REASON_COLORS.get(reason, "black")
+            label = f"{label}\\n{reason}" if label else reason
         style = "dotted" if arc.kind is ArcKind.SYNTHETIC else "solid"
         lines.append(
             f"  {_quote(arc.caller)} -> {_quote(arc.callee)}"

@@ -9,14 +9,22 @@ Subcommands::
         report the call decrease / code increase.
     impact-inline tables [--scale small|full] [--jobs N] [--cache-dir [DIR]]
         Regenerate the paper's tables (same as python -m repro.experiments).
+    impact-inline bench [--benchmarks ...] [--config NAME] [-o FILE]
+        Run the suite under full telemetry and write a schema-versioned
+        BENCH_<config>.json record (counts, phase times, cache rates).
+    impact-inline report BASELINE [CURRENT] [--format table|markdown|html]
+        Compare two bench records; non-zero exit on exact-metric
+        regressions (wall time gated only with --fail-on-time).
 
 ``run``, ``inline``, and ``tables`` accept ``--trace FILE`` (structured
-JSONL trace: phase spans, events, inline-decision audit records) and
+JSONL trace: phase spans, events, inline-decision audit records),
 ``--metrics-out FILE`` (JSON snapshot of pipeline counters/gauges/
-histograms); see README "Observability". ``tables`` additionally takes
-``--jobs N`` (parallel suite execution), ``--cache-dir [DIR]``
-(content-addressed compile/profile cache), and ``--passes SPEC``
-(custom pre-optimization pipeline); see README "Pipeline architecture".
+histograms), and ``--summary`` (metrics summary table on stderr); see
+README "Observability". ``tables`` additionally takes ``--jobs N``
+(parallel suite execution), ``--cache-dir [DIR]`` (content-addressed
+compile/profile cache), and ``--passes SPEC`` (custom pre-optimization
+pipeline); see README "Pipeline architecture". ``bench``/``report``
+are the performance-tracking loop; see README "Performance tracking".
 """
 
 from __future__ import annotations
@@ -40,8 +48,12 @@ def _run_spec(args: argparse.Namespace) -> RunSpec:
 
 
 def _make_obs(args: argparse.Namespace) -> Observability | None:
-    """A live observability context when --trace/--metrics-out ask for one."""
-    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+    """A live observability context when an obs flag asks for one."""
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "summary", False)
+    ):
         return Observability.create()
     return None
 
@@ -49,7 +61,11 @@ def _make_obs(args: argparse.Namespace) -> Observability | None:
 def _export_obs(args: argparse.Namespace, obs: Observability | None) -> None:
     if obs is None:
         return
-    from repro.observability.export import write_metrics, write_trace
+    from repro.observability.export import (
+        render_metrics_summary,
+        write_metrics,
+        write_trace,
+    )
 
     if args.trace:
         write_trace(obs.tracer, args.trace)
@@ -57,6 +73,8 @@ def _export_obs(args: argparse.Namespace, obs: Observability | None) -> None:
     if args.metrics_out:
         write_metrics(obs.metrics, args.metrics_out)
         print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "summary", False):
+        print(render_metrics_summary(obs.metrics), file=sys.stderr)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +89,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FILE",
         help="write a JSON metrics snapshot",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the metrics text summary to stderr",
     )
 
 
@@ -153,6 +176,31 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
     module = compile_program(source, args.file)
+    if args.dot:
+        # Run a full profile + selection so every arc carries the
+        # selector's reason code, then color the DOT output by it.
+        profile = profile_module(module, [_run_spec(args)], check_exit=False)
+        result = inline_module(
+            module,
+            profile,
+            InlineParameters(
+                weight_threshold=args.threshold,
+                size_limit_factor=args.growth,
+            ),
+        )
+        reasons = {
+            decision.site: decision.reason.value
+            for decision in result.decisions
+        }
+        print(
+            to_dot(
+                result.graph,
+                include_synthetic=args.synthetic,
+                min_weight=args.min_weight,
+                decisions=reasons,
+            )
+        )
+        return 0
     profile = None
     if args.profile:
         profile = profile_module(module, [_run_spec(args)], check_exit=False)
@@ -175,7 +223,91 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         argv += ["--trace", args.trace]
     if args.metrics_out:
         argv += ["--metrics-out", args.metrics_out]
+    if args.summary:
+        argv += ["--summary"]
     return experiments_main(argv)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.observability import BenchRecorder, Observability
+
+    recorder = BenchRecorder(
+        config_name=args.config,
+        scale=args.scale,
+        names=args.benchmarks,
+        jobs=args.jobs,
+        pass_spec=args.passes,
+        params=InlineParameters(
+            weight_threshold=args.threshold,
+            size_limit_factor=args.growth,
+        ),
+        cache_dir=args.cache_dir,
+    )
+    obs = Observability.create()
+    record = recorder.run(obs=obs)
+    path = record.write(args.output)
+    if args.trace:
+        from repro.observability.export import write_trace
+
+        write_trace(obs.tracer, args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    total_il = sum(
+        data["counters"]["il"] for data in record.benchmarks.values()
+    )
+    print(
+        f"wrote {path}: {len(record.benchmarks)} benchmarks,"
+        f" {total_il} dynamic ILs, {record.wall_seconds:.2f}s wall,"
+        f" git {record.git_sha[:12]}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.observability.bench import compare, load_record
+    from repro.observability.report import (
+        load_trace,
+        render_comparison_table,
+        render_flamegraph,
+        render_html_report,
+        render_markdown_report,
+    )
+
+    baseline = load_record(args.baseline)
+    current = load_record(args.current) if args.current else baseline
+    comparison = compare(
+        baseline,
+        current,
+        epsilon=args.epsilon,
+        time_tolerance=args.time_tolerance,
+    )
+    flame = None
+    if args.flame:
+        flame = render_flamegraph(load_trace(args.flame))
+    if args.format == "markdown":
+        text = render_markdown_report(comparison, flame=flame)
+    elif args.format == "html":
+        text = render_html_report(comparison, flame=flame)
+    else:
+        text = render_comparison_table(comparison, show_ok=args.show_ok)
+        if flame:
+            text += "\n\nflamegraph:\n" + flame
+        text += "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    if not comparison.ok(fail_on_time=args.fail_on_time):
+        for delta in comparison.regressions + (
+            comparison.time_regressions if args.fail_on_time else []
+        ):
+            print(f"REGRESSION: {delta.describe()}", file=sys.stderr)
+        for name in comparison.missing_benchmarks:
+            print(f"REGRESSION: benchmark {name} missing", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -241,6 +373,15 @@ def main(argv: list[str] | None = None) -> int:
         "--refine", action="store_true", help="narrow ### targets by pointer analysis"
     )
     graph_parser.add_argument("--min-weight", type=float, default=0.0)
+    graph_parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="profile + run the selector, coloring arcs by their"
+        " inline-audit reason code (ACCEPTED green, BELOW_THRESHOLD"
+        " gray, hazard rejections red)",
+    )
+    graph_parser.add_argument("--threshold", type=float, default=10.0)
+    graph_parser.add_argument("--growth", type=float, default=1.25)
     graph_parser.set_defaults(func=_cmd_graph)
 
     tables_parser = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -275,6 +416,96 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_obs_flags(tables_parser)
     tables_parser.set_defaults(func=_cmd_tables)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the suite under telemetry and write a BENCH_<config>.json",
+    )
+    bench_parser.add_argument(
+        "--config",
+        default="suite",
+        metavar="NAME",
+        help="record name: the default output file is BENCH_<NAME>.json",
+    )
+    bench_parser.add_argument("--scale", default="small", choices=["small", "full"])
+    bench_parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict to named benchmarks",
+    )
+    bench_parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    bench_parser.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+    )
+    bench_parser.add_argument("--passes", default=None, metavar="SPEC")
+    bench_parser.add_argument("--threshold", type=float, default=10.0)
+    bench_parser.add_argument("--growth", type=float, default=1.25)
+    bench_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="record path (default: BENCH_<config>.json in the cwd)",
+    )
+    bench_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also write the run's JSONL trace (for report --flame)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="compare bench records; exit non-zero on exact regressions",
+    )
+    report_parser.add_argument("baseline", help="baseline BENCH_*.json")
+    report_parser.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="current BENCH_*.json (default: the baseline itself)",
+    )
+    report_parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="relative slack for exact metrics (default 0)",
+    )
+    report_parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.25,
+        help="relative slack for wall-clock metrics (default 0.25)",
+    )
+    report_parser.add_argument(
+        "--fail-on-time",
+        action="store_true",
+        help="let wall-time regressions fail the comparison too",
+    )
+    report_parser.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "markdown", "html"],
+    )
+    report_parser.add_argument(
+        "--show-ok",
+        action="store_true",
+        help="include unchanged metrics in the table output",
+    )
+    report_parser.add_argument(
+        "--flame",
+        default=None,
+        metavar="TRACE",
+        help="render a text flamegraph from a JSONL trace file",
+    )
+    report_parser.add_argument("-o", "--output", default=None, metavar="FILE")
+    report_parser.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -5,13 +5,15 @@ Usage::
     python -m repro.experiments [table1|table2|table3|table4|breakdown|
                                  all|ablations] [--scale small|full]
                                 [--jobs N] [--cache-dir [DIR]]
-                                [--passes SPEC]
+                                [--passes SPEC] [--bench-out FILE]
+                                [--summary]
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments.ablations import (
     baseline_comparison,
@@ -136,10 +138,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write a JSON metrics snapshot",
     )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the metrics text summary to stderr",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="FILE",
+        help="write a schema-versioned bench telemetry record of the"
+        " suite run (table modes only)",
+    )
     args = parser.parse_args(argv)
 
     obs = None
-    if args.trace or args.metrics_out:
+    if args.trace or args.metrics_out or args.summary or args.bench_out:
         from repro.observability import Observability
 
         obs = Observability.create()
@@ -184,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
 
         session = CompilationSession(cache_dir=args.cache_dir)
 
+    start = time.perf_counter()
     results = run_suite(
         args.scale,
         names=args.benchmarks,
@@ -193,9 +208,14 @@ def main(argv: list[str] | None = None) -> int:
         session=session,
         pass_spec=args.passes,
     )
+    wall = time.perf_counter() - start
     print(_TABLES[args.what](results))
     if obs is not None:
-        from repro.observability.export import write_metrics, write_trace
+        from repro.observability.export import (
+            render_metrics_summary,
+            write_metrics,
+            write_trace,
+        )
 
         if args.trace:
             write_trace(obs.tracer, args.trace)
@@ -203,6 +223,25 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_out:
             write_metrics(obs.metrics, args.metrics_out)
             print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        if args.summary:
+            print(render_metrics_summary(obs.metrics), file=sys.stderr)
+        if args.bench_out:
+            from repro.observability.bench import record_from_results
+
+            record = record_from_results(
+                results,
+                obs,
+                config={
+                    "name": "experiments",
+                    "scale": args.scale,
+                    "benchmarks": args.benchmarks,
+                    "jobs": args.jobs,
+                    "pass_spec": args.passes,
+                },
+                wall_seconds=wall,
+            )
+            record.write(args.bench_out)
+            print(f"wrote bench record to {args.bench_out}", file=sys.stderr)
     return 0
 
 

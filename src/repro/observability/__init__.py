@@ -27,6 +27,16 @@ from repro.observability.audit import (
     InlineDecision,
     summarize_decisions,
 )
+from repro.observability.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchComparison,
+    BenchRecord,
+    BenchRecorder,
+    MetricDelta,
+    compare,
+    load_record,
+    record_from_results,
+)
 from repro.observability.metrics import MetricsRegistry, NullMetrics
 from repro.observability.tracer import NullTracer, Tracer
 
@@ -89,9 +99,17 @@ def enable_console_logging(
 
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchRecord",
+    "BenchRecorder",
     "DecisionReason",
     "InlineDecision",
+    "MetricDelta",
     "MetricsRegistry",
+    "compare",
+    "load_record",
+    "record_from_results",
     "NULL_OBS",
     "NullMetrics",
     "NullTracer",

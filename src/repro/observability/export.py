@@ -25,14 +25,16 @@ def render_metrics_summary(metrics: MetricsRegistry) -> str:
     for name, value in snapshot["gauges"].items():
         rows.append((name, "gauge", _number(value)))
     for name, stats in snapshot["histograms"].items():
-        rows.append(
-            (
-                name,
-                "histogram",
-                f"n={stats['count']} mean={_number(stats['mean'])}"
-                f" min={_number(stats['min'])} max={_number(stats['max'])}",
-            )
+        detail = (
+            f"n={stats['count']} mean={_number(stats['mean'])}"
+            f" min={_number(stats['min'])} max={_number(stats['max'])}"
         )
+        if "p50" in stats:
+            detail += (
+                f" p50={_number(stats['p50'])} p90={_number(stats['p90'])}"
+                f" p99={_number(stats['p99'])}"
+            )
+        rows.append((name, "histogram", detail))
     if not rows:
         return "metrics: (empty)"
     name_width = max(len(row[0]) for row in rows)

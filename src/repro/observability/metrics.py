@@ -1,14 +1,26 @@
 """Named counters, gauges, and histograms for the pipeline.
 
 Counters accumulate (``inc``), gauges hold the last value set
-(``gauge``), histograms keep count/total/min/max summaries
-(``observe``). :meth:`MetricsRegistry.snapshot` returns one plain dict
-suitable for JSON export; :class:`NullMetrics` discards everything.
+(``gauge``), histograms keep count/total/min/max summaries plus a
+bounded sample reservoir for p50/p90/p99 percentiles (``observe``).
+:meth:`MetricsRegistry.snapshot` returns one plain dict suitable for
+JSON export; :class:`NullMetrics` discards everything.
 """
 
 from __future__ import annotations
 
 import json
+
+#: Per-histogram sample cap. Beyond it the summary stays exact but
+#: percentiles are computed over the first ``_MAX_SAMPLES`` values.
+_MAX_SAMPLES = 4096
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list (q in 0..100)."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
 
 
 class MetricsRegistry:
@@ -20,6 +32,7 @@ class MetricsRegistry:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self._histograms: dict[str, list[float]] = {}  # [count, total, min, max]
+        self._samples: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
 
@@ -33,15 +46,19 @@ class MetricsRegistry:
         stats = self._histograms.get(name)
         if stats is None:
             self._histograms[name] = [1, value, value, value]
+            self._samples[name] = [value]
         else:
             stats[0] += 1
             stats[1] += value
             stats[2] = min(stats[2], value)
             stats[3] = max(stats[3], value)
+            samples = self._samples[name]
+            if len(samples) < _MAX_SAMPLES:
+                samples.append(value)
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in: counters add, gauges take the
-        other's value, histogram summaries combine."""
+        other's value, histogram summaries and samples combine."""
         for name, value in other.counters.items():
             self.inc(name, value)
         self.gauges.update(other.gauges)
@@ -54,6 +71,9 @@ class MetricsRegistry:
                 mine[1] += stats[1]
                 mine[2] = min(mine[2], stats[2])
                 mine[3] = max(mine[3], stats[3])
+            theirs = other._samples.get(name, [])
+            combined = self._samples.setdefault(name, [])
+            combined.extend(theirs[: _MAX_SAMPLES - len(combined)])
 
     # ------------------------------------------------------------------
 
@@ -62,13 +82,19 @@ class MetricsRegistry:
         if stats is None:
             return None
         count, total, low, high = stats
-        return {
+        samples = self._samples.get(name, [])
+        summary = {
             "count": count,
             "total": total,
             "min": low,
             "max": high,
             "mean": total / count if count else 0.0,
         }
+        if samples:
+            summary["p50"] = percentile(samples, 50)
+            summary["p90"] = percentile(samples, 90)
+            summary["p99"] = percentile(samples, 99)
+        return summary
 
     def snapshot(self) -> dict:
         return {

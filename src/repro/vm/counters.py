@@ -42,6 +42,15 @@ class Counters:
             mine[0] += pair[0]
             mine[1] += pair[1]
 
+    def to_summary(self) -> dict[str, int]:
+        """The four scalar totals as a JSON-ready dict (bench records)."""
+        return {
+            "il": self.il,
+            "ct": self.ct,
+            "calls": self.calls,
+            "returns": self.returns,
+        }
+
     def scaled(self, divisor: float) -> "Counters":
         """Return averaged counters (used to average over N runs)."""
         result = Counters(

@@ -107,3 +107,33 @@ class TestGraphCommand:
         cli_main(["graph", c_file, "--synthetic"])
         out = capsys.readouterr().out
         assert "style=dotted" in out
+
+    def test_dot_flag_colors_arcs_by_reason(self, c_file, capsys):
+        code = cli_main(["graph", c_file, "--dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # the hot main->triple arc is accepted, cold libc arcs are gray
+        assert "ACCEPTED" in out and "color=forestgreen" in out
+        assert "BELOW_THRESHOLD" in out and "color=gray" in out
+
+    def test_dot_flag_respects_threshold(self, c_file, capsys):
+        cli_main(["graph", c_file, "--dot", "--threshold", "1000000"])
+        out = capsys.readouterr().out
+        assert "ACCEPTED" not in out
+
+
+class TestSummaryFlag:
+    def test_run_summary_on_stderr(self, c_file, capsys):
+        code = cli_main(["run", c_file, "--summary"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "metrics:" in captured.err
+        assert "vm.instructions_retired" in captured.err
+        assert "metrics:" not in captured.out
+
+    def test_tables_summary_on_stderr(self, capsys):
+        code = experiments_main(["table4", "--benchmarks", "wc", "--summary"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Table 4" in captured.out
+        assert "pipeline.benchmarks" in captured.err

@@ -112,6 +112,40 @@ class TestMetricsRegistry:
         assert stats["max"] == 3.0
         assert stats["mean"] == pytest.approx(2.0)
 
+    def test_histogram_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):
+            metrics.observe("seconds", float(value))
+        stats = metrics.histogram("seconds")
+        assert stats["p50"] == pytest.approx(50.0)
+        assert stats["p90"] == pytest.approx(90.0)
+        assert stats["p99"] == pytest.approx(99.0)
+
+    def test_histogram_percentiles_single_sample(self):
+        metrics = MetricsRegistry()
+        metrics.observe("seconds", 2.5)
+        stats = metrics.histogram("seconds")
+        assert stats["p50"] == stats["p90"] == stats["p99"] == 2.5
+
+    def test_merge_combines_percentile_samples(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0):
+            a.observe("seconds", value)
+        for value in (9.0, 10.0):
+            b.observe("seconds", value)
+        a.merge(b)
+        stats = a.histogram("seconds")
+        assert stats["count"] == 4
+        assert stats["p90"] == pytest.approx(10.0)
+        assert stats["p50"] == pytest.approx(2.0)
+
+    def test_summary_surfaces_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            metrics.observe("seconds", value)
+        text = render_metrics_summary(metrics)
+        assert "p50=" in text and "p90=" in text and "p99=" in text
+
     def test_snapshot_json_round_trip(self):
         metrics = MetricsRegistry()
         metrics.inc("a")

@@ -71,6 +71,60 @@ class TestCounters:
         assert a.il == 15 and a.site_counts == {0: 3, 1: 1}
         assert a.func_counts == {"f": 1}
 
+    def test_merge_all_fields(self):
+        a = Counters(
+            il=10,
+            ct=2,
+            calls=1,
+            returns=1,
+            func_counts={"f": 1},
+            branch_counts={("f", 3): [2, 1]},
+        )
+        b = Counters(
+            il=5,
+            ct=1,
+            calls=2,
+            returns=2,
+            func_counts={"f": 2, "g": 1},
+            branch_counts={("f", 3): [1, 1], ("g", 0): [4, 0]},
+        )
+        a.merge(b)
+        assert a.returns == 3
+        assert a.func_counts == {"f": 3, "g": 1}
+        assert a.branch_counts == {("f", 3): [3, 2], ("g", 0): [4, 0]}
+
+    def test_merge_empty_is_identity(self):
+        a = Counters(il=7, ct=3, calls=2, returns=2, site_counts={4: 9})
+        before = (a.il, a.ct, a.calls, a.returns, dict(a.site_counts))
+        a.merge(Counters())
+        assert (a.il, a.ct, a.calls, a.returns, dict(a.site_counts)) == before
+
+    def test_scaled_averages_every_field(self):
+        total = Counters(
+            il=100,
+            ct=40,
+            calls=20,
+            returns=20,
+            site_counts={0: 10, 1: 5},
+            func_counts={"main": 4},
+            branch_counts={("main", 2): [8, 4]},
+        )
+        avg = total.scaled(4)
+        assert (avg.il, avg.ct, avg.calls, avg.returns) == (25, 10, 5, 5)
+        assert avg.site_counts == {0: 2.5, 1: 1.25}
+        assert avg.func_counts == {"main": 1.0}
+        assert avg.branch_counts == {("main", 2): [2.0, 1.0]}
+        # scaling never mutates the source counters
+        assert total.il == 100 and total.site_counts == {0: 10, 1: 5}
+
+    def test_to_summary_round_trips_scalars(self):
+        counters = Counters(il=9, ct=4, calls=3, returns=2)
+        summary = counters.to_summary()
+        assert summary == {"il": 9, "ct": 4, "calls": 3, "returns": 2}
+        import json
+
+        assert json.loads(json.dumps(summary)) == summary
+
 
 class TestMemory:
     def test_malloc_returns_distinct_regions(self):
