@@ -15,8 +15,15 @@ Subcommands::
     impact-inline report BASELINE [CURRENT] [--format table|markdown|html]
         Compare two bench records; non-zero exit on exact-metric
         regressions (wall time gated only with --fail-on-time).
+    impact-inline check [--benchmarks ...] [--fuzz N] [--seed S]
+        Differential-correctness harness: run original and inlined
+        modules of each benchmark in lockstep and (optionally) fuzz
+        random programs through the full pipeline. Exit 1 on any
+        divergence or broken invariant.
 
-``run``, ``inline``, and ``tables`` accept ``--trace FILE`` (structured
+``run``, ``inline``, and ``tables`` accept ``--check`` (re-verify IL
+well-formedness — for ``inline`` and ``tables`` after every pipeline
+pass) and ``--trace FILE`` (structured
 JSONL trace: phase spans, events, inline-decision audit records),
 ``--metrics-out FILE`` (JSON snapshot of pipeline counters/gauges/
 histograms), and ``--summary`` (metrics summary table on stderr); see
@@ -102,6 +109,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         source = handle.read()
     obs = _make_obs(args)
     module = compile_program(source, args.file, obs=obs)
+    if args.check:
+        from repro.il.verifier import verify_module
+
+        verify_module(module)
     result = run_once(module, _run_spec(args), obs=obs)
     sys.stdout.write(result.stdout)
     counters = result.counters
@@ -152,7 +163,7 @@ def _cmd_inline(args: argparse.Namespace) -> int:
         weight_threshold=args.threshold,
         size_limit_factor=args.growth,
     )
-    result = inline_module(module, profile, params, obs=obs)
+    result = inline_module(module, profile, params, check=args.check, obs=obs)
     if obs is not None and obs.tracer.enabled:
         for decision in result.decisions:
             obs.tracer.record(decision.to_record())
@@ -219,6 +230,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.passes:
         argv += ["--passes", args.passes]
+    if args.check:
+        argv += ["--check"]
     if args.trace:
         argv += ["--trace", args.trace]
     if args.metrics_out:
@@ -261,6 +274,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.verify import run_fuzz, verify_suite
+
+    obs = _make_obs(args)
+    params = InlineParameters(
+        weight_threshold=args.threshold,
+        size_limit_factor=args.growth,
+    )
+    failed = False
+    reports = verify_suite(
+        names=args.benchmarks, scale=args.scale, params=params, obs=obs
+    )
+    for report in reports:
+        print(report.summary())
+        failed = failed or not report.ok
+    if args.fuzz:
+        fuzz = run_fuzz(args.fuzz, seed=args.seed, obs=obs)
+        status = "ok" if fuzz.ok else "FAIL"
+        print(
+            f"fuzz: {status} ({fuzz.count} programs from seed {fuzz.seed},"
+            f" {fuzz.expansions} expansions,"
+            f" {len(fuzz.failures)} failures)"
+        )
+        for failure in fuzz.failures:
+            print(
+                f"  - program {failure.index} (seed {failure.seed})"
+                f" at stage {failure.stage}: {failure.detail}"
+            )
+            print("    " + failure.source.replace("\n", "\n    "))
+        failed = failed or not fuzz.ok
+    _export_obs(args, obs)
+    return 1 if failed else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -322,6 +369,11 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("file")
     run_parser.add_argument("--stdin", default="")
     run_parser.add_argument("--arg", action="append")
+    run_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify IL well-formedness before executing",
+    )
     _add_obs_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -345,6 +397,11 @@ def main(argv: list[str] | None = None) -> int:
         " e.g. 'fold,jumpopt' (default: none)",
     )
     inline_parser.add_argument("--dump", action="store_true")
+    inline_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify IL well-formedness after every inline phase",
+    )
     _add_obs_flags(inline_parser)
     inline_parser.set_defaults(func=_cmd_inline)
 
@@ -414,6 +471,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC",
         help="pre-optimization pass spec (see repro.pipeline)",
     )
+    tables_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify IL well-formedness after every pipeline pass",
+    )
     _add_obs_flags(tables_parser)
     tables_parser.set_defaults(func=_cmd_tables)
 
@@ -459,6 +521,36 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the run's JSONL trace (for report --flame)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="differential-correctness harness (oracle + optional fuzzing)",
+    )
+    check_parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict the differential oracle to named benchmarks",
+    )
+    check_parser.add_argument("--scale", default="small", choices=["small", "full"])
+    check_parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also fuzz N random programs through the full pipeline",
+    )
+    check_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed for the fuzz program generator",
+    )
+    check_parser.add_argument("--threshold", type=float, default=10.0)
+    check_parser.add_argument("--growth", type=float, default=1.25)
+    _add_obs_flags(check_parser)
+    check_parser.set_defaults(func=_cmd_check)
 
     report_parser = sub.add_parser(
         "report",

@@ -127,6 +127,11 @@ def main(argv: list[str] | None = None) -> int:
         help="pre-optimization pass spec, e.g. 'fold,copyprop,cse,jumpopt,dce'",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify IL well-formedness after every inline phase",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -207,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         session=session,
         pass_spec=args.passes,
+        check=args.check,
     )
     wall = time.perf_counter() - start
     print(_TABLES[args.what](results))

@@ -107,6 +107,7 @@ def run_benchmark(
     obs: Observability | None = None,
     session: CompilationSession | None = None,
     pass_spec: str | None = None,
+    check: bool = False,
 ) -> BenchmarkResult:
     """Run the full experiment pipeline for one benchmark.
 
@@ -115,7 +116,8 @@ def run_benchmark(
     served content-addressed from its cache when possible; without one
     every stage runs from scratch, exactly as before. ``pass_spec``
     selects a custom pre-optimization pipeline (default: the full
-    five-pass set).
+    five-pass set). ``check`` re-verifies IL well-formedness after
+    every inline phase (the ``--check`` mode).
     """
     params = params or InlineParameters()
     obs = resolve(obs)
@@ -145,7 +147,9 @@ def run_benchmark(
                 profile = profile_module(module, specs, obs=obs)
 
         with tracer.span("benchmark.inline", name=benchmark.name):
-            expander = InlineExpander(module, profile, params, obs=obs)
+            expander = InlineExpander(
+                module, profile, params, check=check, obs=obs
+            )
             inline_result = expander.run()
         if tracer.enabled:
             for decision in inline_result.decisions:
@@ -271,6 +275,7 @@ def run_suite(
     jobs: int = 1,
     session: CompilationSession | None = None,
     pass_spec: str | None = None,
+    check: bool = False,
 ) -> list[BenchmarkResult]:
     """Run the pipeline for every benchmark (or a named subset).
 
@@ -317,6 +322,7 @@ def run_suite(
                         obs=obs,
                         session=session,
                         pass_spec=pass_spec,
+                        check=check,
                     )
                 )
         else:
@@ -332,6 +338,7 @@ def run_suite(
                     obs=child_obs,
                     session=session,
                     pass_spec=pass_spec,
+                    check=check,
                 )
 
             results = parallel_map(

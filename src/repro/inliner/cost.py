@@ -16,6 +16,19 @@
 The model tracks *current* sizes and frame usage: both are re-evaluated
 as expansions are accepted, per §3.4 ("the code size of each function
 body must be re-evaluated as new function calls are considered") and §5.
+
+Size bookkeeping is reconciled against physical expansion exactly:
+:meth:`CostModel.splice_delta` computes the same real-instruction delta
+:func:`repro.inliner.expand.expand_call_site` produces (parameter-buffer
+moves, one jump per ``RET``, and a result move per ``RET`` *only when
+the call site consumes a value* — the spliced ``…/return`` label is a
+pseudo-instruction and never counts toward code size). Because the
+selector accepts arcs in weight order while physical expansion runs in
+linear order, :meth:`CostModel.commit` replays the committed set in
+linear order whenever the model knows the sequence, so
+``program_size``/``sizes`` always equal what expansion will physically
+produce. :class:`~repro.inliner.manager.InlineExpander` asserts this
+reconciliation after every run.
 """
 
 from __future__ import annotations
@@ -54,10 +67,17 @@ class CostModel:
     #: Current estimated frame size per function (bytes).
     frames: dict[str, int] = field(default_factory=dict)
     #: RET count per function. Each RET of an inlined body becomes a
-    #: jump plus (for value returns) a move, so it contributes to the
-    #: splice size. Inlining *into* a function never changes its own
-    #: RET count, so this is a constant per function.
+    #: jump plus (for value-consuming call sites) a result move, so it
+    #: contributes to the splice size. Inlining *into* a function never
+    #: changes its own RET count, so this is a constant per function.
     rets: dict[str, int] = field(default_factory=dict)
+    #: Valueless-RET count per function: a callee with one can never be
+    #: expanded into a value-consuming call site (RETURN_MISMATCH).
+    void_rets: dict[str, int] = field(default_factory=dict)
+    #: The linear expansion sequence (§3.3). When set, commits replay in
+    #: this order so sizes match physical expansion exactly even though
+    #: the selector commits in weight order.
+    sequence: list[str] | None = None
     program_size: int = 0
     original_size: int = 0
 
@@ -70,8 +90,24 @@ class CostModel:
             self.rets[name] = sum(
                 1 for instr in function.body if instr.op is Opcode.RET
             )
+            self.void_rets[name] = sum(
+                1
+                for instr in function.body
+                if instr.op is Opcode.RET and instr.a is None
+            )
+        #: Whether each call site's instruction consumes the result —
+        #: exactly when expansion emits a result move per callee RET.
+        self._site_consumes_value: dict[int, bool] = {}
+        for function in self.module.functions.values():
+            for instr in function.body:
+                if instr.op is Opcode.CALL:
+                    self._site_consumes_value[instr.site] = instr.dst is not None
         self.program_size = sum(self.sizes.values())
         self.original_size = self.program_size
+        self._initial_sizes = dict(self.sizes)
+        self._initial_frames = dict(self.frames)
+        #: Arcs accepted so far, in acceptance (weight) order.
+        self.committed: list[Arc] = []
 
     # ------------------------------------------------------------------
 
@@ -84,6 +120,26 @@ class CostModel:
             + self.frames[arc.callee]
             + PARAM_WORD_BYTES * len(callee.params)
         )
+
+    def site_consumes_value(self, site: int) -> bool:
+        """Whether the call instruction at ``site`` has a destination."""
+        return self._site_consumes_value.get(site, False)
+
+    def splice_delta(self, arc: Arc, sizes: dict[str, int] | None = None) -> int:
+        """Real-instruction growth :func:`expand_call_site` causes for
+        ``arc``, given the callee sizes in ``sizes`` (default: current).
+
+        Mirrors the splice exactly: the caller gains the callee's body
+        (each ``RET`` replaced one-for-one by a jump), one
+        parameter-buffer move per formal, and one result move per RET
+        *only when the call consumes a value*, while the call itself
+        disappears. The appended ``…/return`` label is a
+        pseudo-instruction and contributes nothing to code size.
+        """
+        callee = self.module.functions[arc.callee]
+        current = (sizes if sizes is not None else self.sizes)[arc.callee]
+        result_moves = self.rets[arc.callee] if self.site_consumes_value(arc.site) else 0
+        return current + len(callee.params) + result_moves - 1
 
     def cost(self, arc: Arc) -> float:
         """§2.3.3's cost; INFINITY means the arc must not be expanded."""
@@ -99,6 +155,12 @@ class CostModel:
             # Simple recursion is out of scope (§2.3): the recursive
             # call must target the original copy anyway.
             return CostDecision(INFINITY, DecisionReason.SELF_RECURSIVE, inputs)
+        if self.site_consumes_value(arc.site) and self.void_rets.get(arc.callee, 0):
+            # Expansion would leave the call's destination register
+            # unwritten on the valueless-return path.
+            inputs["callee_void_rets"] = self.void_rets[arc.callee]
+            inputs["call_consumes_value"] = True
+            return CostDecision(INFINITY, DecisionReason.RETURN_MISMATCH, inputs)
         # Control-stack hazard (§2.3.2): expanding a call with high
         # stack usage *into a recursion* explodes the stack. The paper's
         # m(x)/n(x) example makes the caller's recursion the danger, its
@@ -115,10 +177,7 @@ class CostModel:
         inputs["weight_threshold"] = self.params.weight_threshold
         if arc.weight < self.params.weight_threshold:
             return CostDecision(INFINITY, DecisionReason.BELOW_THRESHOLD, inputs)
-        callee = self.module.functions[arc.callee]
-        added = (
-            self.sizes[arc.callee] + len(callee.params) + self.rets[arc.callee] - 1
-        )
+        added = self.splice_delta(arc)
         inputs["callee_size"] = self.sizes[arc.callee]
         inputs["size_delta"] = added
         inputs["program_size"] = self.program_size
@@ -132,26 +191,57 @@ class CostModel:
     def commit(self, arc: Arc) -> None:
         """Account for an accepted expansion.
 
-        Mirrors :func:`repro.inliner.expand.expand_call_site` exactly:
-        the caller gains the callee's body, one parameter-buffer move
-        per formal, and one result move per RET (upper bound: value
-        calls), while the call instruction itself disappears.
+        Matches :func:`repro.inliner.expand.expand_call_site` exactly
+        (see :meth:`splice_delta`). When the model knows the linear
+        ``sequence``, the whole committed set is replayed in linear
+        order — the order physical expansion uses — so nested
+        expansions are sized correctly no matter what order the
+        selector accepts them in. Without a sequence (direct unit use),
+        the delta is applied incrementally, which is exact whenever
+        commits already arrive in linear order.
         """
-        callee_size = self.sizes[arc.callee]
-        callee = self.module.functions[arc.callee]
-        added = callee_size + len(callee.params) + self.rets[arc.callee]
-        self.sizes[arc.caller] += added - 1  # the call itself goes away
-        self.program_size += added - 1
+        self.committed.append(arc)
+        if self.sequence is not None:
+            self._replay()
+            return
+        delta = self.splice_delta(arc)
+        self.sizes[arc.caller] += delta
+        self.program_size += delta
         self.frames[arc.caller] += self.frames[arc.callee]
         # When the caller is inlined later, its body carries the copy's
         # rewritten returns; its own RET count is unchanged.
+
+    def _replay(self) -> None:
+        """Recompute sizes/frames by replaying commits in linear order.
+
+        Physical expansion finishes every expansion *into* a function
+        before that function is copied anywhere (§2.7), so the committed
+        arcs grouped by caller and walked in sequence order reproduce
+        the exact post-expansion sizes.
+        """
+        assert self.sequence is not None
+        sizes = dict(self._initial_sizes)
+        frames = dict(self._initial_frames)
+        by_caller: dict[str, list[Arc]] = {}
+        for arc in self.committed:
+            by_caller.setdefault(arc.caller, []).append(arc)
+        for name in self.sequence:
+            for arc in by_caller.get(name, ()):
+                sizes[arc.caller] += self.splice_delta(arc, sizes)
+                frames[arc.caller] += frames[arc.callee]
+        self.sizes = sizes
+        self.frames = frames
+        self.program_size = sum(sizes.values())
 
 
 def make_cost_model(
     module: ILModule,
     graph: CallGraph,
     params: InlineParameters,
+    sequence: list[str] | None = None,
 ) -> CostModel:
     from repro.callgraph.cycles import recursive_functions
 
-    return CostModel(module, params, recursive_functions(graph))
+    return CostModel(
+        module, params, recursive_functions(graph), sequence=sequence
+    )

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import InlineError
 from repro.il.function import ILFunction
-from repro.il.instructions import Instr, Opcode
+from repro.il.instructions import Instr, Opcode, is_real
 from repro.il.module import ILModule
 
 
@@ -27,7 +27,13 @@ class ExpansionRecord:
     callee: str
     #: Call sites copied from the callee get fresh ids: old -> new.
     copied_sites: dict[int, int] = field(default_factory=dict)
+    #: Net growth in *real* instructions (the code-size delta: labels
+    #: excluded, the removed call accounted). Matches
+    #: :meth:`repro.inliner.cost.CostModel.splice_delta` exactly.
     added_instructions: int = 0
+    #: Net growth in label pseudo-instructions (the copied callee
+    #: labels plus the spliced ``…/return`` label).
+    added_labels: int = 0
 
 
 def _find_call(caller: ILFunction, site: int) -> int:
@@ -60,6 +66,18 @@ def expand_call_site(
         raise InlineError(
             f"site {site}: {len(call.args)} args for {len(callee.params)} params"
         )
+    if call.dst is not None:
+        # A valueless RET spliced into a value-consuming call would
+        # leave call.dst unwritten — the VM's CALL writes the register
+        # unconditionally, so expansion would silently change semantics
+        # (the destination keeps whatever stale value it held).
+        for instr in callee.body:
+            if instr.op is Opcode.RET and instr.a is None:
+                raise InlineError(
+                    f"site {site}: callee {callee.name!r} has a valueless"
+                    " return but the call consumes a result; expansion"
+                    " would leave the destination register unwritten"
+                )
 
     prefix = f"{callee.name}@{site}"
     record = ExpansionRecord(site, caller.name, callee.name)
@@ -122,5 +140,7 @@ def expand_call_site(
 
     caller.body[index : index + 1] = spliced
     caller.layout_frame()  # frame sizes are updated after each expansion
-    record.added_instructions = len(spliced) - 1
+    real = sum(1 for instr in spliced if is_real(instr))
+    record.added_instructions = real - 1  # the call itself went away
+    record.added_labels = len(spliced) - real
     return record

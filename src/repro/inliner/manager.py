@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.callgraph.graph import CallGraph
+from repro.errors import InlineError
 from repro.il.module import ILModule
 from repro.il.verifier import verify_module
 from repro.inliner.classify import ClassifiedSites
@@ -43,6 +44,10 @@ class InlineResult:
     removed_functions: list[str] = field(default_factory=list)
     original_size: int = 0
     final_size: int = 0
+    #: Code size right after physical expansion, before unreachable
+    #: bodies are cleaned up — the number ``selection.projected_size``
+    #: must reproduce exactly (asserted by :class:`InlineExpander`).
+    pre_cleanup_size: int = 0
 
     @property
     def code_increase(self) -> float:
@@ -73,6 +78,7 @@ class InlineExpander:
         remove_unreachable: bool = True,
         verify: bool = True,
         linearize_method: str = "hybrid",
+        check: bool = False,
         obs: Observability | None = None,
     ):
         self._input = module
@@ -81,6 +87,7 @@ class InlineExpander:
         self._seed = seed
         self._remove_unreachable = remove_unreachable
         self._verify = verify
+        self._check = check
         self._linearize_method = linearize_method
         self._obs = resolve(obs)
 
@@ -105,6 +112,7 @@ class InlineExpander:
             params=self._params,
             seed=self._seed,
             linearize_method=self._linearize_method,
+            check=self._check,
             obs=obs,
         )
         manager.run_module(module, ctx)
@@ -114,6 +122,10 @@ class InlineExpander:
         selection = ctx.state["selection"]
         records: list[ExpansionRecord] = ctx.state.get("records", [])
         removed: list[str] = ctx.state.get("removed", [])
+        pre_cleanup_size = ctx.state.get(
+            "pre_cleanup_size", module.total_code_size()
+        )
+        self._reconcile(selection, records, original_size, pre_cleanup_size, obs)
         if self._verify:
             with tracer.span("inline.verify"):
                 verify_module(module)
@@ -136,7 +148,48 @@ class InlineExpander:
             removed_functions=removed,
             original_size=original_size,
             final_size=module.total_code_size(),
+            pre_cleanup_size=pre_cleanup_size,
         )
+
+    @staticmethod
+    def _reconcile(
+        selection: SelectionResult,
+        records: list[ExpansionRecord],
+        original_size: int,
+        pre_cleanup_size: int,
+        obs: Observability,
+    ) -> None:
+        """Assert the cost model's bookkeeping matches physical reality.
+
+        Two exact identities must hold after every run (no epsilon):
+        the selection's projected program size equals the measured
+        post-expansion code size, and the per-record instruction deltas
+        sum to the same growth. A violation means the cost model and
+        :func:`~repro.inliner.expand.expand_call_site` have drifted
+        apart — the silent-contract bug this check exists to catch.
+        """
+        recorded_growth = sum(record.added_instructions for record in records)
+        if original_size + recorded_growth != pre_cleanup_size:
+            raise InlineError(
+                "expansion records do not reconcile: original size"
+                f" {original_size} + recorded growth {recorded_growth}"
+                f" != measured post-expansion size {pre_cleanup_size}"
+            )
+        if selection.projected_size != pre_cleanup_size:
+            raise InlineError(
+                "cost model drifted from physical expansion:"
+                f" projected size {selection.projected_size}"
+                f" != measured post-expansion size {pre_cleanup_size}"
+                f" ({len(records)} expansions from size {original_size})"
+            )
+        if obs.enabled:
+            obs.metrics.inc("inliner.reconciliations")
+            obs.tracer.event(
+                "inline.reconcile",
+                projected_size=selection.projected_size,
+                measured_size=pre_cleanup_size,
+                expansions=len(records),
+            )
 
 
 def inline_module(
@@ -145,9 +198,16 @@ def inline_module(
     params: InlineParameters | None = None,
     seed: int = 0,
     linearize_method: str = "hybrid",
+    check: bool = False,
     obs: Observability | None = None,
 ) -> InlineResult:
     """One-call convenience wrapper around :class:`InlineExpander`."""
     return InlineExpander(
-        module, profile, params, seed, linearize_method=linearize_method, obs=obs
+        module,
+        profile,
+        params,
+        seed,
+        linearize_method=linearize_method,
+        check=check,
+        obs=obs,
     ).run()

@@ -59,6 +59,9 @@ def select_sites(
     params = params or InlineParameters()
     obs = resolve(obs)
     model = cost_model or make_cost_model(module, graph, params)
+    # Give the model the linear order so committed sizes replay exactly
+    # as physical expansion will apply them (nested expansions included).
+    model.sequence = sequence
     position = order_index(sequence)
     result = SelectionResult(original_size=model.program_size)
 
@@ -89,7 +92,22 @@ def select_sites(
             continue
         callee_pos = position.get(arc.callee)
         caller_pos = position.get(arc.caller)
-        if callee_pos is None or caller_pos is None or callee_pos >= caller_pos:
+        if arc.callee not in module.functions or callee_pos is None:
+            # No body (or no place in the sequence at all) — there is
+            # nothing to expand. Distinct from an ordering conflict
+            # between two available bodies.
+            arc.status = ArcStatus.NOT_EXPANDABLE
+            result.not_expandable.append(arc)
+            audit(
+                arc,
+                DecisionReason.CALLEE_UNAVAILABLE,
+                inputs={
+                    "callee_defined": arc.callee in module.functions,
+                    "callee_position": callee_pos,
+                },
+            )
+            continue
+        if caller_pos is None or callee_pos >= caller_pos:
             arc.status = ArcStatus.NOT_EXPANDABLE
             result.not_expandable.append(arc)
             audit(
@@ -129,6 +147,9 @@ def select_sites(
             result.rejected.append(arc)
             audit(arc, decision.reason, inputs=decision.inputs)
 
+    # With the sequence set above, commits were replayed in linear
+    # order, so this projection equals the physical post-expansion code
+    # size exactly; InlineExpander asserts the reconciliation.
     result.projected_size = model.program_size
     if obs.enabled:
         metrics = obs.metrics

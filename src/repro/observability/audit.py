@@ -12,12 +12,20 @@ Reason code          §3 cost-function clause
                      or call through a pointer (``###``)
 ``ORDER_VIOLATION``  §3.3 linearization: callee not strictly before
                      its caller in the linear sequence
+``CALLEE_UNAVAILABLE``  the callee has no body in the module (or no
+                     position in the linear sequence at all), so there
+                     is nothing to expand — distinct from a mere
+                     ordering conflict between two available bodies
 ``SELF_RECURSIVE``   §2.3 scope: simple recursion never expanded
 ``RECURSIVE_LIMIT``  first clause — recursive path and
                      ``control_stack_usage > BOUND``
 ``BELOW_THRESHOLD``  second clause — ``weight(arc) < T``
 ``SIZE_LIMIT``       third clause — expansion would push the program
                      past the code-size limit
+``RETURN_MISMATCH``  the call site consumes a result but the callee
+                     has a valueless ``RET``: physical expansion would
+                     leave the destination register unwritten, so the
+                     arc is never expandable
 ``MAX_EXPANSIONS``   implementation safety valve on the number of
                      physical expansions
 ===================  ==============================================
@@ -35,10 +43,12 @@ class DecisionReason(enum.Enum):
     ACCEPTED = "ACCEPTED"
     NOT_DIRECT = "NOT_DIRECT"
     ORDER_VIOLATION = "ORDER_VIOLATION"
+    CALLEE_UNAVAILABLE = "CALLEE_UNAVAILABLE"
     SELF_RECURSIVE = "SELF_RECURSIVE"
     RECURSIVE_LIMIT = "RECURSIVE_LIMIT"
     BELOW_THRESHOLD = "BELOW_THRESHOLD"
     SIZE_LIMIT = "SIZE_LIMIT"
+    RETURN_MISMATCH = "RETURN_MISMATCH"
     MAX_EXPANSIONS = "MAX_EXPANSIONS"
 
 

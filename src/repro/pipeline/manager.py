@@ -197,7 +197,30 @@ class PassManager:
                             attrs[result_attr] = count
                 stats.record(pass_.name, count)
                 round_changes += count
+                if ctx.check and pass_.name != "verify":
+                    self._verify_after(pass_, ctx, obs)
             stats.rounds += 1
             if round_changes == 0:
                 break
         return stats
+
+    @staticmethod
+    def _verify_after(pass_: Pass, ctx: PassContext, obs: Observability) -> None:
+        """Re-verify IL well-formedness after one pass (``--check``).
+
+        Any :class:`~repro.errors.ILError` raised here names the pass
+        that broke the invariant, so transformation bugs are pinned to
+        the phase that introduced them rather than surfacing later.
+        """
+        from repro.errors import ILError
+        from repro.il.verifier import verify_module
+
+        with obs.tracer.span("verify.after_pass", pass_name=pass_.name):
+            try:
+                verify_module(ctx.module)
+            except ILError as error:
+                raise ILError(
+                    f"IL verification failed after pass {pass_.name!r}: {error}"
+                ) from error
+        if obs.metrics.enabled:
+            obs.metrics.inc("verify.pass_checks")

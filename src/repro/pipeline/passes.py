@@ -47,6 +47,9 @@ class PassContext:
     params: Any = None
     seed: int = 0
     linearize_method: str = "hybrid"
+    #: When set, the PassManager re-verifies the module's IL
+    #: well-formedness after every pass (the ``--check`` mode).
+    check: bool = False
     obs: Observability = field(default_factory=lambda: NULL_OBS)
     state: dict[str, Any] = field(default_factory=dict)
 
@@ -235,6 +238,10 @@ def _ensure_registered() -> None:
             for arc in by_caller.get(name, ()):
                 records.append(expand_call_site(ctx.module, arc.caller, arc.site))
                 arc.status = ArcStatus.EXPANDED
+        # Snapshot the post-expansion size before cleanup removes
+        # unreachable bodies: this is the number the selection's
+        # projected_size must reproduce exactly.
+        ctx.state["pre_cleanup_size"] = ctx.module.total_code_size()
         return len(records)
 
     def _phase_cleanup(ctx: PassContext) -> int:
@@ -264,3 +271,17 @@ def _ensure_registered() -> None:
         metrics=("pipeline.pass.cleanup.changes",),
         result_attr="removed_functions",
     ))
+
+    from repro.il.verifier import verify_function_local
+
+    def _verify_pass(function) -> int:
+        # Function-level so it splices into any pipeline, including the
+        # optimizer's (--passes 'fold,verify,dce'). Full module-wide
+        # verification (call targets, site-id uniqueness) runs under
+        # --check and inside InlineExpander.
+        verify_function_local(function)
+        return 0
+
+    register_pass(
+        FunctionPass("verify", _verify_pass), aliases=("check",)
+    )

@@ -1,0 +1,433 @@
+"""Tests for the differential-correctness harness.
+
+Covers the three reconciliation bug fixes (cost-model vs. physical
+expansion accounting, the void-return-into-value-call hazard, the
+callee-unavailable audit distinction), the hardened IL verifier, the
+differential oracle, and a seeded fuzz corpus replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.callgraph.build import build_call_graph
+from repro.callgraph.graph import CallGraph
+from repro.compiler import compile_program
+from repro.errors import ILError, InlineError
+from repro.il.function import ILFunction
+from repro.il.instructions import Instr, Opcode
+from repro.il.module import ILModule
+from repro.il.verifier import verify_function, verify_module
+from repro.inliner.cost import INFINITY, make_cost_model
+from repro.inliner.expand import expand_call_site
+from repro.inliner.linearize import linearize
+from repro.inliner.manager import inline_module
+from repro.inliner.params import InlineParameters
+from repro.inliner.select import select_sites
+from repro.observability.audit import DecisionReason
+from repro.profiler.profile import RunSpec, profile_module
+from repro.verify import (
+    generate_program,
+    run_fuzz,
+    verify_benchmark,
+    verify_inlining,
+    verify_suite,
+)
+from repro.workloads.suite import benchmark_by_name
+
+LOW_THRESHOLD = InlineParameters(weight_threshold=4.0, size_limit_factor=3.0)
+
+#: main -> outer is the heavier arc (committed first by the selector)
+#: but outer -> inner expands first in linear order — the shape where
+#: incremental weight-order accounting drifts from physical expansion.
+NESTED = """
+#include <sys.h>
+int inner(int x) { return x * 2 + 1; }
+int outer(int x) {
+    int r = x;
+    if (x % 2 == 0)
+        r = r + inner(x);
+    return r + 1;
+}
+int main(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 30; i++)
+        s += outer(i);
+    print_int(s);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+VOID_HOT = """
+#include <sys.h>
+int total = 0;
+void bump(int x) { total = total + x; }
+int main(void) {
+    int i;
+    for (i = 0; i < 40; i++)
+        bump(i);
+    print_int(total);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+def inlined(source, params=LOW_THRESHOLD):
+    module = compile_program(source)
+    profile = profile_module(module, [RunSpec()], check_exit=False)
+    return inline_module(module, profile, params)
+
+
+def void_ret_into_value_call_module():
+    """Hand-built IL: a valueless return inlined into t0 = v()."""
+    module = ILModule("main")
+    callee = ILFunction("v", [], False)
+    callee.body.append(Instr(Opcode.RET))
+    module.add_function(callee)
+    main = ILFunction("main", [], True)
+    main.body.append(Instr(Opcode.CALL, dst="t0", name="v", args=[], site=1))
+    main.body.append(Instr(Opcode.RET, a="t0"))
+    module.add_function(main)
+    return module
+
+
+class TestSizeReconciliation:
+    """Satellite 1: committed deltas match physical expansion exactly."""
+
+    def test_nested_weight_skewed_program_reconciles(self):
+        result = inlined(NESTED)
+        # Both arcs clear the threshold, so this really is the nested
+        # case: inner is inside outer's body when outer splices into main.
+        assert len(result.records) == 2
+        assert result.selection.projected_size == result.pre_cleanup_size
+
+    def test_void_callee_reconciles(self):
+        result = inlined(VOID_HOT)
+        assert result.records, "hot void call should be expanded"
+        assert result.selection.projected_size == result.pre_cleanup_size
+
+    def test_whole_suite_benchmark_reconciles(self):
+        benchmark = benchmark_by_name("cmp")
+        module = benchmark.compile()
+        profile = profile_module(module, benchmark.make_runs("small"))
+        result = inline_module(module, profile)
+        assert result.selection.projected_size == result.pre_cleanup_size
+
+    def test_record_delta_matches_measured_size(self):
+        module = compile_program(NESTED)
+        before = module.total_code_size()
+        graph = build_call_graph(
+            module, profile_module(module, [RunSpec()], check_exit=False)
+        )
+        [arc] = graph.arcs_between("outer", "inner")
+        record = expand_call_site(module, "outer", arc.site)
+        assert module.total_code_size() - before == record.added_instructions
+
+    def test_void_record_delta_matches_measured_size(self):
+        # The old formula charged one result move per callee RET even
+        # when the call discards the result; the record must not.
+        module = compile_program(VOID_HOT)
+        graph = build_call_graph(
+            module, profile_module(module, [RunSpec()], check_exit=False)
+        )
+        [arc] = graph.arcs_between("main", "bump")
+        before = module.total_code_size()
+        record = expand_call_site(module, "main", arc.site)
+        assert module.total_code_size() - before == record.added_instructions
+
+
+class TestVoidReturnGuard:
+    """Satellite 2: valueless RET into a value-consuming call."""
+
+    def test_expand_refuses_void_ret_into_value_call(self):
+        module = void_ret_into_value_call_module()
+        with pytest.raises(InlineError, match="unwritten"):
+            expand_call_site(module, "main", 1)
+
+    def test_guard_fires_before_any_mutation(self):
+        module = void_ret_into_value_call_module()
+        main = module.functions["main"]
+        body_len = len(main.body)
+        with pytest.raises(InlineError):
+            expand_call_site(module, "main", 1)
+        assert len(main.body) == body_len
+        assert not main.slots
+
+    def test_cost_model_rejects_return_mismatch(self):
+        module = void_ret_into_value_call_module()
+        graph = CallGraph()
+        graph.add_node("main", 1.0)
+        graph.add_node("v", 100.0)
+        arc = graph.add_arc(1, "main", "v", weight=100.0)
+        model = make_cost_model(module, graph, InlineParameters())
+        decision = model.evaluate(arc)
+        assert decision.cost == INFINITY
+        assert decision.reason is DecisionReason.RETURN_MISMATCH
+
+    def test_selector_never_selects_mismatched_site(self):
+        module = void_ret_into_value_call_module()
+        graph = CallGraph()
+        graph.add_node("main", 1.0)
+        graph.add_node("v", 100.0)
+        graph.add_arc(1, "main", "v", weight=100.0)
+        selection = select_sites(module, graph, None, ["v", "main"])
+        assert not selection.selected
+        [decision] = [
+            d for d in selection.decisions
+            if d.reason is DecisionReason.RETURN_MISMATCH
+        ]
+        assert decision.site == 1
+
+    def test_verifier_catches_unwritten_destination(self):
+        # The pattern a buggy expansion would have produced: the call's
+        # destination register is read but no spliced return wrote it.
+        module = ILModule("main")
+        main = ILFunction("main", [], True)
+        main.body.append(Instr(Opcode.JUMP, label="v@1/return"))
+        main.body.append(Instr(Opcode.LABEL, label="v@1/return"))
+        main.body.append(Instr(Opcode.RET, a="t0"))
+        module.add_function(main)
+        with pytest.raises(ILError, match="read before written"):
+            verify_module(module)
+
+
+class TestCalleeUnavailable:
+    """Satellite 3: no-body / no-position arcs are not order violations."""
+
+    def _graph(self):
+        module = compile_program(NESTED)
+        profile = profile_module(module, [RunSpec()], check_exit=False)
+        return module, profile, build_call_graph(module, profile)
+
+    def test_missing_sequence_position_is_unavailable(self):
+        module, profile, graph = self._graph()
+        sequence = [name for name in linearize(module, profile) if name != "inner"]
+        selection = select_sites(module, graph, profile, sequence)
+        [arc] = graph.arcs_between("outer", "inner")
+        [decision] = [d for d in selection.decisions if d.site == arc.site]
+        assert decision.reason is DecisionReason.CALLEE_UNAVAILABLE
+        assert decision.inputs["callee_defined"] is True
+
+    def test_undefined_callee_is_unavailable(self):
+        module = void_ret_into_value_call_module()
+        del module.functions["v"]
+        module.externals.add("v")
+        graph = CallGraph()
+        graph.add_node("main", 1.0)
+        graph.add_node("v", 100.0)
+        graph.add_arc(1, "main", "v", weight=100.0)
+        selection = select_sites(module, graph, None, ["v", "main"])
+        [decision] = selection.decisions
+        assert decision.reason is DecisionReason.CALLEE_UNAVAILABLE
+        assert decision.inputs["callee_defined"] is False
+
+    def test_true_order_violation_still_reported(self):
+        module, profile, graph = self._graph()
+        selection = select_sites(
+            module, graph, profile, ["main", "outer", "inner"]
+        )
+        [arc] = graph.arcs_between("main", "outer")
+        [decision] = [d for d in selection.decisions if d.site == arc.site]
+        assert decision.reason is DecisionReason.ORDER_VIOLATION
+
+
+class TestHardenedVerifier:
+    def _function(self, body, params=(), returns=True, name="f"):
+        fn = ILFunction(name, list(params), returns)
+        fn.body.extend(body)
+        module = ILModule("main")
+        module.add_function(fn)
+        main = ILFunction("main", [], True)
+        main.body.append(Instr(Opcode.RET, a=0))
+        if name != "main":
+            module.add_function(main)
+        return module, fn
+
+    def test_never_written_register_rejected(self):
+        module, fn = self._function([Instr(Opcode.RET, a="ghost")])
+        with pytest.raises(ILError, match="read before written"):
+            verify_function(module, fn)
+
+    def test_straight_line_read_before_later_write_rejected(self):
+        module, fn = self._function(
+            [
+                Instr(Opcode.MOV, dst="a", a="b"),
+                Instr(Opcode.CONST, dst="b", a=1),
+                Instr(Opcode.RET, a="a"),
+            ]
+        )
+        with pytest.raises(ILError, match="read before written"):
+            verify_function(module, fn)
+
+    def test_conditionally_initialized_register_accepted(self):
+        # Written on one branch only: defined behavior (the VM
+        # zero-initializes), so the verifier must not flag it.
+        module, fn = self._function(
+            [
+                Instr(Opcode.CONST, dst="c", a=1),
+                Instr(Opcode.CJUMP, a="c", label="then", label2="join"),
+                Instr(Opcode.LABEL, label="then"),
+                Instr(Opcode.CONST, dst="x", a=5),
+                Instr(Opcode.JUMP, label="join"),
+                Instr(Opcode.LABEL, label="join"),
+                Instr(Opcode.RET, a="x"),
+            ]
+        )
+        verify_function(module, fn)
+
+    def test_unwritten_on_every_path_rejected(self):
+        module, fn = self._function(
+            [
+                Instr(Opcode.CONST, dst="c", a=1),
+                Instr(Opcode.CJUMP, a="c", label="then", label2="join"),
+                Instr(Opcode.LABEL, label="then"),
+                Instr(Opcode.JUMP, label="join"),
+                Instr(Opcode.LABEL, label="join"),
+                Instr(Opcode.RET, a="x"),
+            ]
+        )
+        with pytest.raises(ILError, match="read before written"):
+            verify_function(module, fn)
+
+    def test_loop_carried_register_accepted(self):
+        # x is written inside the loop and read at the top of the next
+        # iteration: the back-edge makes it only *maybe* unassigned.
+        module, fn = self._function(
+            [
+                Instr(Opcode.CONST, dst="i", a=0),
+                Instr(Opcode.LABEL, label="head"),
+                Instr(Opcode.CJUMP, a="i", label="body", label2="exit"),
+                Instr(Opcode.LABEL, label="body"),
+                Instr(Opcode.BIN, dst="x", op2="+", a="i", b=1),
+                Instr(Opcode.MOV, dst="i", a="x"),
+                Instr(Opcode.JUMP, label="head"),
+                Instr(Opcode.LABEL, label="exit"),
+                Instr(Opcode.RET, a="i"),
+            ]
+        )
+        verify_function(module, fn)
+
+    def test_valueless_return_in_value_function_rejected(self):
+        module, fn = self._function([Instr(Opcode.RET)], returns=True)
+        with pytest.raises(ILError, match="valueless return"):
+            verify_function(module, fn)
+
+    def test_valued_return_in_void_function_rejected(self):
+        module, fn = self._function([Instr(Opcode.RET, a=3)], returns=False)
+        with pytest.raises(ILError, match="void function"):
+            verify_function(module, fn)
+
+    def test_duplicate_label_rejected(self):
+        module, fn = self._function(
+            [
+                Instr(Opcode.LABEL, label="L"),
+                Instr(Opcode.LABEL, label="L"),
+                Instr(Opcode.RET, a=0),
+            ]
+        )
+        with pytest.raises(ILError, match="duplicate label"):
+            verify_function(module, fn)
+
+    def test_unlaid_out_frame_slot_rejected(self):
+        module, fn = self._function([Instr(Opcode.RET, a=0)])
+        fn.add_slot("buf", 8)  # offset stays -1: layout_frame never ran
+        with pytest.raises(ILError, match="no offset"):
+            verify_function(module, fn)
+
+    def test_overlapping_frame_slots_rejected(self):
+        module, fn = self._function([Instr(Opcode.RET, a=0)])
+        first = fn.add_slot("a", 8)
+        second = fn.add_slot("b", 4)
+        fn.frame_size = 12
+        first.offset = 0
+        second.offset = 4  # inside [0, 8)
+        with pytest.raises(ILError, match="overlaps"):
+            verify_function(module, fn)
+
+    def test_slots_past_frame_size_rejected(self):
+        module, fn = self._function([Instr(Opcode.RET, a=0)])
+        slot = fn.add_slot("a", 8)
+        slot.offset = 0
+        fn.frame_size = 4
+        with pytest.raises(ILError, match="frame_size"):
+            verify_function(module, fn)
+
+    def test_frontend_output_passes(self):
+        verify_module(compile_program(NESTED))
+
+    def test_post_inline_output_passes(self):
+        verify_module(inlined(NESTED).module)
+
+
+class TestDifferentialOracle:
+    def test_benchmark_oracle_passes(self):
+        report = verify_benchmark(benchmark_by_name("cmp"))
+        assert report.ok, report.summary()
+        assert report.expansions > 0
+        assert report.eliminated_floor > 0
+        assert report.calls_eliminated >= report.eliminated_floor
+        assert report.projected_size == report.measured_size
+
+    def test_oracle_reports_broken_calls_floor(self):
+        # Select under a profile measured on a long input, then verify
+        # on a short one: the floor (from the selecting profile) exceeds
+        # what the short input can eliminate, so the invariant must
+        # report — without any behavioral divergence.
+        source = """
+        #include <sys.h>
+        int total = 0;
+        void bump(int x) { total = total + x; }
+        int main(void) {
+            int c = getchar();
+            while (c != EOF) { bump(c); c = getchar(); }
+            print_int(total);
+            putchar('\\n');
+            return 0;
+        }
+        """
+        module = compile_program(source)
+        selecting = profile_module(module, [RunSpec(stdin=b"x" * 200)])
+        report = verify_inlining(
+            module,
+            [RunSpec(stdin=b"hi")],
+            LOW_THRESHOLD,
+            profile=selecting,
+        )
+        assert not report.divergences
+        assert report.invariant_failures
+        assert report.eliminated_floor > report.calls_eliminated
+
+    def test_unknown_benchmark_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            verify_suite(names=["nope"])
+
+    def test_summary_names_program(self):
+        report = verify_inlining(
+            compile_program(NESTED), [RunSpec()], LOW_THRESHOLD, name="nested"
+        )
+        assert report.summary().startswith("nested: ok")
+
+
+class TestFuzz:
+    def test_generator_is_deterministic(self):
+        assert generate_program(7) == generate_program(7)
+        assert generate_program(7) != generate_program(8)
+
+    def test_generated_programs_compile_and_run(self):
+        source = generate_program(0)
+        module = compile_program(source)
+        verify_module(module)
+
+    def test_fuzz_corpus_replays_clean(self):
+        # The regression corpus: 50 seeded programs through compile →
+        # optimize → inline → optimize with differential execution at
+        # every stage. Any divergence or broken invariant fails here.
+        report = run_fuzz(50, seed=20260806)
+        details = "\n".join(
+            f"{f.stage}: {f.detail}\n{f.source}" for f in report.failures
+        )
+        assert report.ok, details
+        assert report.expansions > 0
