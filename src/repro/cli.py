@@ -20,6 +20,14 @@ Subcommands::
         modules of each benchmark in lockstep and (optionally) fuzz
         random programs through the full pipeline. Exit 1 on any
         divergence or broken invariant.
+    impact-inline serve [--socket PATH] [--jobs N] [--executor ...]
+        Long-running compilation service on a local Unix socket:
+        batches and deduplicates concurrent compile/profile/inline/
+        check requests onto a worker pool; SIGINT/SIGTERM drain
+        gracefully. See README "Service mode".
+    impact-inline call OP [FILE.c] [--socket PATH] ...
+        Client for a running server: compile|profile|inline|check a
+        source file, or ping|stats|shutdown the server.
 
 ``run``, ``inline``, and ``tables`` accept ``--check`` (re-verify IL
 well-formedness — for ``inline`` and ``tables`` after every pipeline
@@ -44,6 +52,7 @@ from repro.il.printer import format_module
 from repro.inliner.manager import inline_module
 from repro.inliner.params import InlineParameters
 from repro.observability import Observability
+from repro.pipeline.parallel import jobs_argument
 from repro.profiler.profile import RunSpec, profile_module, run_once
 
 
@@ -226,6 +235,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     argv = [args.what, "--scale", args.scale]
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.executor != "thread":
+        argv += ["--executor", args.executor]
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
     if args.passes:
@@ -249,6 +260,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scale=args.scale,
         names=args.benchmarks,
         jobs=args.jobs,
+        executor=args.executor,
         pass_spec=args.passes,
         params=InlineParameters(
             weight_threshold=args.threshold,
@@ -308,6 +320,82 @@ def _cmd_check(args: argparse.Namespace) -> int:
         failed = failed or not fuzz.ok
     _export_obs(args, obs)
     return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import CompilationService
+
+    obs = _make_obs(args) or Observability.create()
+    service = CompilationService(
+        args.socket,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        obs=obs,
+        max_batch=args.max_batch,
+    )
+
+    async def main() -> None:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(service.shutdown())
+                )
+            except (ValueError, NotImplementedError, RuntimeError):
+                # Not the main thread (tests) or no signal support on
+                # this platform; the admin 'shutdown' op still drains.
+                break
+        print(
+            f"serving on {args.socket} ({args.jobs} {args.executor}"
+            f" worker{'s' if args.jobs != 1 else ''});"
+            " send SIGINT/SIGTERM or an admin 'shutdown' to drain",
+            file=sys.stderr,
+        )
+        await service.wait_stopped()
+
+    asyncio.run(main())
+    _export_obs(args, obs)
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.ops import OPS
+
+    params: dict = {}
+    if args.op in OPS:
+        if not args.file:
+            print(f"call {args.op} requires a FILE.c", file=sys.stderr)
+            return 2
+        with open(args.file, encoding="utf-8") as handle:
+            params["source"] = handle.read()
+        params["filename"] = args.file
+        if args.stdin:
+            params["stdin"] = args.stdin
+        if args.arg:
+            params["argv"] = list(args.arg)
+        if args.passes:
+            params["passes"] = args.passes
+        if args.op in ("inline", "check"):
+            params["threshold"] = args.threshold
+            params["growth"] = args.growth
+        if args.dump and args.op == "compile":
+            params["dump"] = True
+    with ServiceClient(args.socket) as client:
+        try:
+            envelope = client.request(args.op, params, raw=True)
+        except ServiceError as exc:
+            print(f"service error: {exc}", file=sys.stderr)
+            return 1
+    print(json.dumps(envelope, indent=2, sort_keys=True, default=str))
+    return 0 if envelope.get("ok") else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -451,10 +539,21 @@ def main(argv: list[str] | None = None) -> int:
     tables_parser.add_argument("--scale", default="small", choices=["small", "full"])
     tables_parser.add_argument(
         "--jobs",
-        type=int,
+        type=jobs_argument,
         default=1,
         metavar="N",
-        help="run benchmarks on N worker threads (deterministic order)",
+        help="run benchmarks on N workers (deterministic order; must be"
+        " >= 1, 1 = serial)",
+    )
+    tables_parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool for --jobs: 'thread' starts instantly and"
+        " shares the in-memory cache but CPU-bound work serializes on"
+        " the GIL; 'process' runs compile/profile/inline work truly in"
+        " parallel (output stays byte-identical) at the cost of"
+        " per-worker startup and artifact pickling",
     )
     tables_parser.add_argument(
         "--cache-dir",
@@ -496,7 +595,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="restrict to named benchmarks",
     )
-    bench_parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    bench_parser.add_argument(
+        "--jobs",
+        type=jobs_argument,
+        default=1,
+        metavar="N",
+        help="worker count (>= 1; see tables --help for the"
+        " thread-vs-process tradeoff)",
+    )
+    bench_parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool backend for --jobs",
+    )
     bench_parser.add_argument(
         "--cache-dir",
         nargs="?",
@@ -551,6 +663,71 @@ def main(argv: list[str] | None = None) -> int:
     check_parser.add_argument("--growth", type=float, default=1.25)
     _add_obs_flags(check_parser)
     check_parser.set_defaults(func=_cmd_check)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the compilation service on a local Unix socket",
+    )
+    serve_parser.add_argument(
+        "--socket",
+        default=".repro-service.sock",
+        metavar="PATH",
+        help="Unix socket path (default: .repro-service.sock)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=jobs_argument,
+        default=1,
+        metavar="N",
+        help="worker pool size (>= 1)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool backend: 'thread' shares one in-memory cache"
+        " but serializes CPU work on the GIL; 'process' compiles truly"
+        " in parallel, sharing the cache through its on-disk store",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed compile/profile cache shared by all"
+        " workers (default DIR: .repro-cache)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max requests dispatched to the pool in one wave",
+    )
+    _add_obs_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    call_parser = sub.add_parser(
+        "call", help="send one request to a running service"
+    )
+    call_parser.add_argument(
+        "op",
+        choices=["compile", "profile", "inline", "check", "ping", "stats", "shutdown"],
+    )
+    call_parser.add_argument("file", nargs="?", default=None)
+    call_parser.add_argument(
+        "--socket",
+        default=".repro-service.sock",
+        metavar="PATH",
+    )
+    call_parser.add_argument("--stdin", default="")
+    call_parser.add_argument("--arg", action="append")
+    call_parser.add_argument("--passes", default=None, metavar="SPEC")
+    call_parser.add_argument("--threshold", type=float, default=10.0)
+    call_parser.add_argument("--growth", type=float, default=1.25)
+    call_parser.add_argument("--dump", action="store_true")
+    call_parser.set_defaults(func=_cmd_call)
 
     report_parser = sub.add_parser(
         "report",

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments [table1|table2|table3|table4|breakdown|
                                  all|ablations] [--scale small|full]
-                                [--jobs N] [--cache-dir [DIR]]
+                                [--jobs N] [--executor thread|process]
+                                [--cache-dir [DIR]]
                                 [--passes SPEC] [--bench-out FILE]
                                 [--summary]
 """
@@ -23,6 +24,7 @@ from repro.experiments.ablations import (
     threshold_sweep,
 )
 from repro.experiments.pipeline import run_suite
+from repro.pipeline.parallel import jobs_argument
 from repro.experiments.tables import (
     all_tables,
     post_inline_breakdown,
@@ -105,11 +107,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=jobs_argument,
         default=1,
         metavar="N",
-        help="run benchmarks on N worker threads (deterministic order;"
-        " default 1 = serial)",
+        help="run benchmarks on N workers (deterministic order; default"
+        " 1 = serial; must be >= 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool backend for --jobs: 'thread' is cheap to start"
+        " but GIL-bound (best when the cache absorbs most work);"
+        " 'process' runs CPU-heavy compile/profile/inline work truly in"
+        " parallel at the cost of pickling artifacts between processes",
     )
     parser.add_argument(
         "--cache-dir",
@@ -171,28 +182,36 @@ def main(argv: list[str] | None = None) -> int:
         print(
             render_points(
                 "Ablation A: weight threshold T.",
-                threshold_sweep(args.scale, jobs=args.jobs),
+                threshold_sweep(
+                    args.scale, jobs=args.jobs, executor=args.executor
+                ),
             )
         )
         print()
         print(
             render_points(
                 "Ablation B: profile-guided vs. static heuristics.",
-                baseline_comparison(args.scale, jobs=args.jobs),
+                baseline_comparison(
+                    args.scale, jobs=args.jobs, executor=args.executor
+                ),
             )
         )
         print()
         print(
             render_points(
                 "Ablation C: code-growth limit.",
-                growth_limit_sweep(args.scale, jobs=args.jobs),
+                growth_limit_sweep(
+                    args.scale, jobs=args.jobs, executor=args.executor
+                ),
             )
         )
         print()
         print(
             render_points(
                 "Ablation D: linearization order.",
-                linearization_comparison(args.scale, jobs=args.jobs),
+                linearization_comparison(
+                    args.scale, jobs=args.jobs, executor=args.executor
+                ),
             )
         )
         return 0
@@ -213,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         session=session,
         pass_spec=args.passes,
         check=args.check,
+        executor=args.executor,
     )
     wall = time.perf_counter() - start
     print(_TABLES[args.what](results))
@@ -242,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
                     "scale": args.scale,
                     "benchmarks": args.benchmarks,
                     "jobs": args.jobs,
+                    "executor": args.executor,
                     "pass_spec": args.passes,
                 },
                 wall_seconds=wall,

@@ -4,10 +4,17 @@ A — weight threshold T (§2.3.3's ``weight(Ai) < T`` guard),
 B — profile-guided selection vs. the no-profile baselines of §1.2,
 C — code-growth limit (§2.3.1's program-size cap),
 D — linearization order (paper's weight heuristic vs. hybrid).
+
+Every sweep fans out over the suite via
+:func:`~repro.pipeline.parallel.parallel_map`; the measurement tasks
+are module-level functions parameterized with :func:`functools.partial`
+so they run unchanged on either the thread or the process executor
+(``executor="process"`` requires picklable tasks).
 """
 
 from __future__ import annotations
 
+import functools
 import statistics
 from dataclasses import dataclass
 
@@ -23,7 +30,7 @@ from repro.inliner.params import InlineParameters
 from repro.opt import optimize_module
 from repro.pipeline.parallel import parallel_map
 from repro.profiler.profile import profile_module
-from repro.workloads.suite import benchmark_suite
+from repro.workloads.suite import benchmark_by_name, benchmark_names, benchmark_suite
 
 
 @dataclass
@@ -41,23 +48,30 @@ def _prepare(benchmark, scale):
     return module, specs, profile
 
 
-def _prepare_suite(scale, jobs=1):
+def _prepare_task(name, _obs, *, scale):
+    """Compile+pre-optimize+profile one benchmark, addressed by name."""
+    return _prepare(benchmark_by_name(name), scale)
+
+
+def _prepare_suite(scale, jobs=1, executor="thread"):
     """Compile+pre-optimize+profile every benchmark (optionally parallel)."""
     return parallel_map(
-        lambda benchmark, _obs: (_prepare(benchmark, scale), benchmark),
-        benchmark_suite(),
+        functools.partial(_prepare_task, scale=scale),
+        benchmark_names(),
         jobs,
         worker_label="ablation-prepare",
+        executor=executor,
     )
 
 
-def _measure_all(prepared, one, jobs=1):
-    """Apply ``one`` to every prepared benchmark, in suite order."""
+def _measure_all(prepared, one, jobs=1, executor="thread"):
+    """Apply ``one(module, specs, profile)`` to every prepared benchmark."""
     return parallel_map(
-        lambda entry, _obs: one(*entry[0]),
+        one,
         prepared,
         jobs,
         worker_label="ablation-measure",
+        executor=executor,
     )
 
 
@@ -71,29 +85,40 @@ def _measure(module, inlined_module, specs, profile) -> tuple[float, float]:
     return increase, decrease
 
 
+def _expander_task(entry, _obs, *, params=None, linearize_method=None):
+    """Inline one prepared benchmark with the paper's expander."""
+    module, specs, profile = entry
+    if linearize_method is not None:
+        result = InlineExpander(
+            module, profile, params, linearize_method=linearize_method
+        ).run()
+    else:
+        result = InlineExpander(module, profile, params).run()
+    return _measure(module, result.module, specs, profile)
+
+
+def _mean_point(label, pairs) -> AblationPoint:
+    incs = [inc for inc, _ in pairs]
+    decs = [dec for _, dec in pairs]
+    return AblationPoint(label, statistics.fmean(incs), statistics.fmean(decs))
+
+
 def threshold_sweep(
     scale: str = "small",
     thresholds: tuple[float, ...] = (1, 10, 100, 1000),
     jobs: int = 1,
+    executor: str = "thread",
 ) -> list[AblationPoint]:
     """Ablation A: sweep the arc-weight threshold T."""
     points = []
-    prepared = _prepare_suite(scale, jobs)
+    prepared = _prepare_suite(scale, jobs, executor)
     for threshold in thresholds:
-        params = InlineParameters(weight_threshold=threshold)
-
-        def one(module, specs, profile, params=params):
-            result = InlineExpander(module, profile, params).run()
-            return _measure(module, result.module, specs, profile)
-
-        pairs = _measure_all(prepared, one, jobs)
-        incs = [inc for inc, _ in pairs]
-        decs = [dec for _, dec in pairs]
-        points.append(
-            AblationPoint(
-                f"T={threshold:g}", statistics.fmean(incs), statistics.fmean(decs)
-            )
+        one = functools.partial(
+            _expander_task,
+            params=InlineParameters(weight_threshold=threshold),
         )
+        pairs = _measure_all(prepared, one, jobs, executor)
+        points.append(_mean_point(f"T={threshold:g}", pairs))
     return points
 
 
@@ -101,49 +126,55 @@ def growth_limit_sweep(
     scale: str = "small",
     factors: tuple[float, ...] = (1.0, 1.1, 1.25, 1.5, 2.0),
     jobs: int = 1,
+    executor: str = "thread",
 ) -> list[AblationPoint]:
     """Ablation C: sweep the program-size cap."""
     points = []
-    prepared = _prepare_suite(scale, jobs)
+    prepared = _prepare_suite(scale, jobs, executor)
     for factor in factors:
-        params = InlineParameters(size_limit_factor=factor)
-
-        def one(module, specs, profile, params=params):
-            result = InlineExpander(module, profile, params).run()
-            return _measure(module, result.module, specs, profile)
-
-        pairs = _measure_all(prepared, one, jobs)
-        incs = [inc for inc, _ in pairs]
-        decs = [dec for _, dec in pairs]
-        points.append(
-            AblationPoint(
-                f"limit={factor:g}x", statistics.fmean(incs), statistics.fmean(decs)
-            )
+        one = functools.partial(
+            _expander_task,
+            params=InlineParameters(size_limit_factor=factor),
         )
+        pairs = _measure_all(prepared, one, jobs, executor)
+        points.append(_mean_point(f"limit={factor:g}x", pairs))
     return points
 
 
 def linearization_comparison(
-    scale: str = "small", jobs: int = 1
+    scale: str = "small", jobs: int = 1, executor: str = "thread"
 ) -> list[AblationPoint]:
     """Ablation D: the paper's pure-weight order vs. the hybrid order."""
     points = []
-    prepared = _prepare_suite(scale, jobs)
+    prepared = _prepare_suite(scale, jobs, executor)
     for method in ("weight", "hybrid"):
-
-        def one(module, specs, profile, method=method):
-            result = InlineExpander(
-                module, profile, linearize_method=method
-            ).run()
-            return _measure(module, result.module, specs, profile)
-
-        pairs = _measure_all(prepared, one, jobs)
-        incs = [inc for inc, _ in pairs]
-        decs = [dec for _, dec in pairs]
-        points.append(
-            AblationPoint(method, statistics.fmean(incs), statistics.fmean(decs))
-        )
+        one = functools.partial(_expander_task, linearize_method=method)
+        pairs = _measure_all(prepared, one, jobs, executor)
+        points.append(_mean_point(method, pairs))
     return points
+
+
+def _size25_inline(module, params):
+    return size_threshold_inline(module, 25, params)
+
+
+def _baseline_task(entry, _obs, *, label):
+    """Inline one prepared benchmark with the named baseline heuristic."""
+    module, specs, profile = entry
+    params = InlineParameters()
+    heuristic = dict(_BASELINES)[label]
+    if heuristic is None:
+        inlined = InlineExpander(module, profile, params).run().module
+    elif heuristic == "static-estimate":
+        # §4.2's open question: run the same expander on weights
+        # estimated by structure analysis instead of profiling.
+        from repro.profiler.static_estimate import estimate_profile
+
+        estimated = estimate_profile(module)
+        inlined = InlineExpander(module, estimated, params).run().module
+    else:
+        inlined = heuristic(module, params).module
+    return _measure(module, inlined, specs, profile)
 
 
 _BASELINES = (
@@ -151,40 +182,21 @@ _BASELINES = (
     ("static-estimate", "static-estimate"),
     ("leaf (PL.8)", leaf_inline),
     ("loop (MIPS)", loop_inline),
-    ("size<=25", lambda module, params: size_threshold_inline(module, 25, params)),
+    ("size<=25", _size25_inline),
     ("hint (GNU)", hint_inline),
 )
 
 
 def baseline_comparison(
-    scale: str = "small", jobs: int = 1
+    scale: str = "small", jobs: int = 1, executor: str = "thread"
 ) -> list[AblationPoint]:
     """Ablation B: profile-guided vs. static heuristics, same size cap."""
     points = []
-    prepared = _prepare_suite(scale, jobs)
-    params = InlineParameters()
-    for label, heuristic in _BASELINES:
-
-        def one(module, specs, profile, heuristic=heuristic):
-            if heuristic is None:
-                inlined = InlineExpander(module, profile, params).run().module
-            elif heuristic == "static-estimate":
-                # §4.2's open question: run the same expander on weights
-                # estimated by structure analysis instead of profiling.
-                from repro.profiler.static_estimate import estimate_profile
-
-                estimated = estimate_profile(module)
-                inlined = InlineExpander(module, estimated, params).run().module
-            else:
-                inlined = heuristic(module, params).module
-            return _measure(module, inlined, specs, profile)
-
-        pairs = _measure_all(prepared, one, jobs)
-        incs = [inc for inc, _ in pairs]
-        decs = [dec for _, dec in pairs]
-        points.append(
-            AblationPoint(label, statistics.fmean(incs), statistics.fmean(decs))
-        )
+    prepared = _prepare_suite(scale, jobs, executor)
+    for label, _heuristic in _BASELINES:
+        one = functools.partial(_baseline_task, label=label)
+        pairs = _measure_all(prepared, one, jobs, executor)
+        points.append(_mean_point(label, pairs))
     return points
 
 

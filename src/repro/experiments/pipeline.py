@@ -15,6 +15,7 @@ all outputs byte-identical.
 
 from __future__ import annotations
 
+import functools
 import logging
 from dataclasses import dataclass, field
 
@@ -23,11 +24,16 @@ from repro.inliner.manager import InlineExpander, InlineResult
 from repro.inliner.params import InlineParameters
 from repro.observability import Observability, enable_console_logging, resolve
 from repro.opt import optimize_module
-from repro.pipeline.parallel import parallel_map
+from repro.pipeline.parallel import parallel_map, validate_executor, validate_jobs
 from repro.pipeline.session import CompilationSession
 from repro.profiler.profile import ProfileData, RunSpec, profile_module, run_once
 from repro.callgraph.build import build_call_graph
-from repro.workloads.suite import Benchmark, benchmark_names, benchmark_suite
+from repro.workloads.suite import (
+    Benchmark,
+    benchmark_by_name,
+    benchmark_names,
+    benchmark_suite,
+)
 
 _LOG = logging.getLogger("repro.experiments")
 
@@ -264,6 +270,55 @@ def _describe_file_diff(
     return ", ".join(parts)
 
 
+#: Per-process registry of sessions opened from a spec, so one worker
+#: process reuses its in-memory cache across the tasks it executes
+#: (the disk store is shared between processes regardless).
+_WORKER_SESSIONS: dict[tuple, CompilationSession] = {}
+
+
+def _session_from_spec(spec: dict | None) -> CompilationSession | None:
+    if spec is None:
+        return None
+    key = tuple(sorted(spec.items()))
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = CompilationSession.from_spec(spec)
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _benchmark_task(
+    name: str,
+    obs: Observability,
+    *,
+    scale: str,
+    params: InlineParameters | None,
+    pre_optimize: bool,
+    check_outputs: bool,
+    session_spec: dict | None,
+    pass_spec: str | None,
+    check: bool,
+) -> BenchmarkResult:
+    """One suite item, addressed by benchmark name so it pickles.
+
+    Process workers re-open the shared disk cache from ``session_spec``;
+    thread workers and the serial path pass the live session directly
+    and never reach this function.
+    """
+    _LOG.info("[%s] running ...", name)
+    return run_benchmark(
+        benchmark_by_name(name),
+        scale,
+        params,
+        pre_optimize,
+        check_outputs,
+        obs=obs,
+        session=_session_from_spec(session_spec),
+        pass_spec=pass_spec,
+        check=check,
+    )
+
+
 def run_suite(
     scale: str = "small",
     params: InlineParameters | None = None,
@@ -276,22 +331,31 @@ def run_suite(
     session: CompilationSession | None = None,
     pass_spec: str | None = None,
     check: bool = False,
+    executor: str = "thread",
 ) -> list[BenchmarkResult]:
     """Run the pipeline for every benchmark (or a named subset).
 
     ``names`` must all be known benchmark names; unknown names raise
     :class:`ValueError` rather than being silently skipped. With
-    ``jobs > 1`` the benchmarks run on a thread pool — results keep
+    ``jobs > 1`` the benchmarks run on a worker pool — results keep
     suite order and per-worker trace/metric records are merged into the
     parent ``obs`` — while ``jobs=1`` is the plain serial loop,
-    byte-identical to the historical behavior. A shared ``session``
-    serves compiles and profiles from its content-addressed cache.
+    byte-identical to the historical behavior. ``executor`` selects the
+    pool: ``"thread"`` shares the live ``session`` in memory but
+    serializes CPU work on the GIL; ``"process"`` gives true CPU
+    parallelism — workers share the session's *disk* store (each
+    process re-opens it from :meth:`CompilationSession.spec`) and
+    return their results and telemetry by pickling. A shared
+    ``session`` serves compiles and profiles from its
+    content-addressed cache either way.
 
     Progress goes through the ``repro.experiments`` logger; with
     ``progress=True`` a stderr handler is attached (once) so the
     messages stay visible from the CLI, while library users configure
     or silence the ``repro`` logger themselves.
     """
+    validate_jobs(jobs)
+    validate_executor(executor)
     if progress:
         enable_console_logging()
     obs = resolve(obs)
@@ -326,23 +390,43 @@ def run_suite(
                     )
                 )
         else:
-
-            def task(benchmark: Benchmark, child_obs) -> BenchmarkResult:
-                _LOG.info("[%s] running ...", benchmark.name)
-                return run_benchmark(
-                    benchmark,
-                    scale,
-                    params,
-                    pre_optimize,
-                    check_outputs,
-                    obs=child_obs,
-                    session=session,
+            if executor == "process":
+                # Ship the session as its picklable spec; the live
+                # object holds locks and caches that cannot cross the
+                # process boundary.
+                task = functools.partial(
+                    _benchmark_task,
+                    scale=scale,
+                    params=params,
+                    pre_optimize=pre_optimize,
+                    check_outputs=check_outputs,
+                    session_spec=session.spec() if session else None,
                     pass_spec=pass_spec,
                     check=check,
                 )
+            else:
+
+                def task(name: str, child_obs) -> BenchmarkResult:
+                    _LOG.info("[%s] running ...", name)
+                    return run_benchmark(
+                        benchmark_by_name(name),
+                        scale,
+                        params,
+                        pre_optimize,
+                        check_outputs,
+                        obs=child_obs,
+                        session=session,
+                        pass_spec=pass_spec,
+                        check=check,
+                    )
 
             results = parallel_map(
-                task, selected, jobs, obs=obs, worker_label="suite"
+                task,
+                [benchmark.name for benchmark in selected],
+                jobs,
+                obs=obs,
+                worker_label="suite",
+                executor=executor,
             )
         attrs["benchmarks"] = len(results)
     return results

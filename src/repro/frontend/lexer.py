@@ -147,7 +147,16 @@ class Lexer:
                 self._advance()
             spelling = self._text[start : self._pos]
             # Octal constants: a leading zero in C; decode accordingly.
-            value = int(spelling, 8) if spelling.startswith("0") and len(spelling) > 1 else int(spelling)
+            try:
+                value = (
+                    int(spelling, 8)
+                    if spelling.startswith("0") and len(spelling) > 1
+                    else int(spelling)
+                )
+            except ValueError:  # e.g. "08": digits 8/9 are not octal
+                raise LexError(
+                    f"malformed octal constant {spelling!r}", location
+                )
         while self._peek() and self._peek() in "uUlL":  # skip suffixes
             self._advance()
             spelling = self._text[start : self._pos]

@@ -242,6 +242,7 @@ class BenchRecorder:
         scale: str = "small",
         names: list[str] | None = None,
         jobs: int = 1,
+        executor: str = "thread",
         pass_spec: str | None = None,
         params=None,
         cache_dir: str | None = None,
@@ -250,6 +251,7 @@ class BenchRecorder:
         self.scale = scale
         self.names = names
         self.jobs = jobs
+        self.executor = executor
         self.pass_spec = pass_spec
         self.params = params
         self.cache_dir = cache_dir
@@ -263,6 +265,7 @@ class BenchRecorder:
             "scale": self.scale,
             "benchmarks": self.names,
             "jobs": self.jobs,
+            "executor": self.executor,
             "pass_spec": self.pass_spec,
             "threshold": params.weight_threshold,
             "size_limit_factor": params.size_limit_factor,
@@ -294,6 +297,7 @@ class BenchRecorder:
             jobs=self.jobs,
             session=session,
             pass_spec=self.pass_spec,
+            executor=self.executor,
         )
         wall = time.perf_counter() - start
         return record_from_results(

@@ -1,12 +1,24 @@
 """Deterministic parallel fan-out for suite and ablation runs.
 
-:func:`parallel_map` runs one task per item on a thread pool and
+:func:`parallel_map` runs one task per item on a pluggable executor and
 returns results in item order, so ``jobs=N`` output is indistinguishable
-from serial output. Each worker records into its own forked
-:class:`~repro.observability.Observability`; the children are absorbed
-into the parent (in item order) after every task finishes, so traces
-and metrics stay whole — each absorbed record is tagged with its
-worker's label.
+from serial output. Two backends:
+
+- ``executor="thread"`` (default) — a ``ThreadPoolExecutor``. Cheap to
+  start and shares in-memory state (e.g. a live
+  :class:`~repro.pipeline.session.CompilationSession`), but CPU-bound
+  work serializes on the GIL.
+- ``executor="process"`` — a ``ProcessPoolExecutor``. True parallelism
+  for CPU-heavy compile/profile/inline work; the task callable and its
+  items must be picklable, and each worker returns its serialized
+  result together with its observability child.
+
+Each worker records into its own forked
+:class:`~repro.observability.Observability`; children are absorbed into
+the parent **in item order, as soon as that item (and every earlier
+item) finishes** — so traces and metrics stay whole and deterministic
+while no more than the in-flight window of children is held in memory.
+Each absorbed record is tagged with its worker's label.
 
 ``jobs=1`` short-circuits to a plain loop over the parent context,
 byte-identical to the historical serial code path.
@@ -14,13 +26,59 @@ byte-identical to the historical serial code path.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from repro.observability import Observability, resolve
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: The executor backends :func:`parallel_map` accepts.
+EXECUTORS = ("thread", "process")
+
+
+def validate_jobs(jobs: int) -> int:
+    """Reject a non-positive worker count with a clear error."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (1 = serial), got {jobs}")
+    return jobs
+
+
+def jobs_argument(value: str) -> int:
+    """Argparse ``type=`` for ``--jobs``: a positive worker count."""
+    import argparse
+
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (1 = serial), got {jobs}"
+        )
+    return jobs
+
+
+def validate_executor(executor: str) -> str:
+    """Reject an unknown executor backend with a clear error."""
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from"
+            f" {', '.join(EXECUTORS)}"
+        )
+    return executor
+
+
+def _process_task(fn, item, want_obs: bool):
+    """Run one task in a worker process, capturing its observability.
+
+    Module-level so it pickles; the child context rides back to the
+    parent in the return value (tracers and metrics are plain data).
+    """
+    child = Observability.create() if want_obs else None
+    result = fn(item, resolve(child))
+    return result, child
 
 
 def parallel_map(
@@ -29,11 +87,33 @@ def parallel_map(
     jobs: int = 1,
     obs: Observability | None = None,
     worker_label: str = "worker",
+    executor: str = "thread",
 ) -> list[R]:
-    """Map ``fn(item, obs)`` over ``items``, preserving item order."""
+    """Map ``fn(item, obs)`` over ``items``, preserving item order.
+
+    With ``executor="process"``, ``fn`` and every item (and result)
+    must be picklable — use module-level functions or
+    :func:`functools.partial` over module-level functions.
+    """
+    validate_jobs(jobs)
+    validate_executor(executor)
     parent = resolve(obs)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item, parent) for item in items]
+    results: list[R] = []
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_process_task, fn, item, parent.enabled)
+                for item in items
+            ]
+            for index, future in enumerate(futures):
+                result, child = future.result()
+                results.append(result)
+                if child is not None:
+                    parent.absorb(child, worker=f"{worker_label}-{index}")
+                futures[index] = None  # release the child promptly
+        return results
     children: list[Observability | None] = [
         Observability.create() if parent.enabled else None for _ in items
     ]
@@ -42,8 +122,13 @@ def parallel_map(
             pool.submit(fn, item, resolve(child))
             for item, child in zip(items, children)
         ]
-        results = [future.result() for future in futures]
-    for index, child in enumerate(children):
-        if child is not None:
-            parent.absorb(child, worker=f"{worker_label}-{index}")
+        # Absorb each worker context as soon as its item (and every
+        # earlier item) has finished: deterministic item order without
+        # holding every child's full trace until the end of the run.
+        for index, future in enumerate(futures):
+            results.append(future.result())
+            child = children[index]
+            if child is not None:
+                parent.absorb(child, worker=f"{worker_label}-{index}")
+                children[index] = None
     return results

@@ -13,8 +13,21 @@ experiment pipeline:
   is only ever replayed against the exact code it was measured on.
 
 An optional on-disk store (``.repro-cache/`` by convention) makes the
-cache survive across processes. The store is versioned under
-``v<FORMAT>/`` and corruption-tolerant by design: an unreadable,
+cache survive across processes — and is **shared between concurrent
+processes** (the process-pool executor, service workers). The store is
+versioned under ``v<FORMAT>/``, sharded as
+``v<FORMAT>/<kind>/<first-two-hex-chars>/<key>.pkl`` so no single
+directory grows unbounded, and process-safe by construction:
+
+- writes go to a temp file and land via atomic ``os.replace``, so a
+  killed writer can never leave a truncated entry under the final name;
+- a store-wide advisory lock (``fcntl.flock`` on ``.lock`` where
+  available) serializes writers and eviction, so two processes storing
+  the same key never interleave;
+- eviction (``disk_max_entries``) removes oldest-first under the same
+  lock and tolerates entries already removed by a sibling process.
+
+The store stays corruption-tolerant by design: an unreadable,
 truncated, or wrong-format entry is silently a miss — never an error —
 so a stale or damaged cache directory can always be reused or simply
 deleted.
@@ -32,7 +45,13 @@ import os
 import pickle
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any
+
+try:  # advisory locking is POSIX-only; elsewhere atomic rename suffices
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 from repro.observability import Observability, resolve
 
@@ -172,16 +191,41 @@ class CompilationSession:
         self,
         cache_dir: str | None = None,
         max_entries: int = 256,
+        disk_max_entries: int | None = None,
         obs: Observability | None = None,
     ):
         self._modules: OrderedDict[str, Any] = OrderedDict()
         self._profiles: OrderedDict[str, Any] = OrderedDict()
-        self._max_entries = max_entries
+        self.cache_dir = cache_dir
+        self.max_entries = max_entries
+        self.disk_max_entries = disk_max_entries
         self._obs = resolve(obs)
         self._lock = threading.Lock()
         self._dir = (
             os.path.join(cache_dir, f"v{CACHE_FORMAT}") if cache_dir else None
         )
+
+    # ------------------------------------------------------------------
+    # spec: the picklable recipe for an equivalent session
+    #
+    # A live session is not picklable (locks, live caches), so parallel
+    # process workers and service workers receive a spec instead and
+    # open their own session over the same shared disk store.
+
+    def spec(self) -> dict:
+        """A picklable description re-creating an equivalent session."""
+        return {
+            "cache_dir": self.cache_dir,
+            "max_entries": self.max_entries,
+            "disk_max_entries": self.disk_max_entries,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict | None) -> "CompilationSession | None":
+        """Open a session from :meth:`spec` output (``None`` passes through)."""
+        if spec is None:
+            return None
+        return cls(**spec)
 
     # ------------------------------------------------------------------
     # generic keyed store
@@ -209,7 +253,7 @@ class CompilationSession:
         with self._lock:
             table[key] = value
             table.move_to_end(key)
-            while len(table) > self._max_entries:
+            while len(table) > self.max_entries:
                 table.popitem(last=False)
                 self._count(obs, "evictions")
 
@@ -218,43 +262,116 @@ class CompilationSession:
         self._disk_store(kind, key, value)
 
     # ------------------------------------------------------------------
-    # the on-disk store (corruption-tolerant: bad entry == miss)
+    # the on-disk store (sharded, process-safe, corruption-tolerant)
 
     def _disk_path(self, kind: str, key: str) -> str:
+        """Sharded entry path: ``v1/<kind>/<first-2-hex>/<key>.pkl``."""
+        return os.path.join(self._dir, kind, key[:2], f"{key}.pkl")
+
+    def _legacy_disk_path(self, kind: str, key: str) -> str:
+        """The pre-sharding flat layout, still honored on reads."""
         return os.path.join(self._dir, f"{kind}-{key}.pkl")
+
+    @contextmanager
+    def _store_lock(self):
+        """Store-wide advisory write lock (no-op where flock is missing).
+
+        Readers never take it — atomic rename means a read sees either
+        the old entry, the new entry, or nothing, all of which are
+        valid. Writers and eviction serialize on it across processes.
+        """
+        if fcntl is None or self.cache_dir is None:
+            yield
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        with open(os.path.join(self.cache_dir, ".lock"), "a+b") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _read_payload(self, path: str, kind: str) -> Any:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            isinstance(payload, dict)
+            and payload.get("format") == CACHE_FORMAT
+            and payload.get("kind") == kind
+        ):
+            return payload["value"]
+        return None
 
     def _disk_load(self, kind: str, key: str) -> Any:
         if self._dir is None:
             return None
-        try:
-            with open(self._disk_path(kind, key), "rb") as handle:
-                payload = pickle.load(handle)
-            if (
-                isinstance(payload, dict)
-                and payload.get("format") == CACHE_FORMAT
-                and payload.get("kind") == kind
-            ):
-                return payload["value"]
-        except Exception:
-            return None
+        for path in (
+            self._disk_path(kind, key),
+            self._legacy_disk_path(kind, key),
+        ):
+            try:
+                value = self._read_payload(path, kind)
+            except Exception:
+                continue
+            if value is not None:
+                return value
         return None
 
     def _disk_store(self, kind: str, key: str, value: Any) -> None:
         if self._dir is None:
             return
         try:
-            os.makedirs(self._dir, exist_ok=True)
             path = self._disk_path(kind, key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-            with open(tmp, "wb") as handle:
-                pickle.dump(
-                    {"format": CACHE_FORMAT, "kind": kind, "value": value},
-                    handle,
-                )
-            os.replace(tmp, path)
+            with self._store_lock():
+                with open(tmp, "wb") as handle:
+                    pickle.dump(
+                        {"format": CACHE_FORMAT, "kind": kind, "value": value},
+                        handle,
+                    )
+                os.replace(tmp, path)
+                if self.disk_max_entries is not None:
+                    self._disk_evict_locked()
         except Exception:
             # A cache that cannot be written is a slow cache, not a bug.
             return
+
+    def _disk_entries(self) -> list[str]:
+        """Every entry file in the store (sharded and legacy layouts)."""
+        entries: list[str] = []
+        for root, _dirs, files in os.walk(self._dir):
+            for name in files:
+                if name.endswith(".pkl"):
+                    entries.append(os.path.join(root, name))
+        return entries
+
+    def _disk_evict_locked(self, obs: Observability | None = None) -> int:
+        """Drop oldest entries beyond ``disk_max_entries`` (lock held).
+
+        Safe against sibling processes: an entry that vanished between
+        listing and unlinking was simply evicted by someone else.
+        """
+        obs = resolve(obs if obs is not None else self._obs)
+        entries = self._disk_entries()
+        excess = len(entries) - (self.disk_max_entries or 0)
+        if excess <= 0:
+            return 0
+        def mtime(path: str) -> float:
+            try:
+                return os.stat(path).st_mtime
+            except OSError:
+                return 0.0
+        evicted = 0
+        for path in sorted(entries, key=mtime)[:excess]:
+            try:
+                os.unlink(path)
+                evicted += 1
+            except OSError:
+                pass
+        if evicted and obs.metrics.enabled:
+            obs.metrics.inc("pipeline.cache.disk_evictions", evicted)
+        return evicted
 
     # ------------------------------------------------------------------
     # artifacts
@@ -341,8 +458,15 @@ class CompilationSession:
             self._modules.clear()
             self._profiles.clear()
         if disk and self._dir is not None and os.path.isdir(self._dir):
-            for name in os.listdir(self._dir):
-                try:
-                    os.unlink(os.path.join(self._dir, name))
-                except OSError:
-                    pass
+            with self._store_lock():
+                for root, dirs, files in os.walk(self._dir, topdown=False):
+                    for name in files:
+                        try:
+                            os.unlink(os.path.join(root, name))
+                        except OSError:
+                            pass
+                    for name in dirs:
+                        try:
+                            os.rmdir(os.path.join(root, name))
+                        except OSError:
+                            pass

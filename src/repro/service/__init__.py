@@ -1,0 +1,40 @@
+"""Compilation-as-a-service: the asyncio front door to the pipeline.
+
+Three cooperating modules turn the batch reproduction into a
+long-running service that absorbs concurrent traffic:
+
+- :mod:`repro.service.ops` — the four service operations (``compile``,
+  ``profile``, ``inline``, ``check``) as plain picklable functions over
+  JSON-shaped request params, shared verbatim by the server's worker
+  pool, the CLI, and tests (so a service round-trip is comparable
+  byte-for-byte with a direct call);
+- :mod:`repro.service.server` — :class:`CompilationService`, an asyncio
+  server on a local Unix socket: request batching, in-flight
+  deduplication (identical concurrent requests coalesce onto one
+  computation), a thread- or process-pool execution backend, per-request
+  trace/metrics absorbed into the server's observability, and graceful
+  shutdown that drains in-flight work;
+- :mod:`repro.service.client` — a blocking :class:`ServiceClient`, an
+  async :func:`arequest`, and :func:`run_concurrent` for firing many
+  requests at once.
+
+The CLI front ends are ``impact-inline serve`` and
+``impact-inline call``; see README "Service mode".
+"""
+
+from repro.service.client import ServiceClient, ServiceError, arequest, run_concurrent
+from repro.service.ops import OPS, execute, request_key
+from repro.service.server import CompilationService, ServiceHandle, serve_in_thread
+
+__all__ = [
+    "OPS",
+    "CompilationService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "arequest",
+    "execute",
+    "request_key",
+    "run_concurrent",
+    "serve_in_thread",
+]

@@ -1,0 +1,366 @@
+"""The asyncio compilation service.
+
+:class:`CompilationService` listens on a local Unix-domain socket and
+speaks newline-delimited JSON: one request object per line in, one
+response object per line out, on a persistent connection::
+
+    {"id": 1, "op": "inline", "params": {"source": "...", ...}}
+    {"id": 1, "ok": true, "result": {...}, "coalesced": false,
+     "seconds": 0.012}
+
+Request flow:
+
+- **dedup** — each request is content-addressed by
+  :func:`~repro.service.ops.request_key`. A request whose key matches
+  one already in flight does not compute anything: it awaits the same
+  future and is counted in ``service.requests.coalesced``.
+- **batching** — new work lands on a queue; a dispatcher drains
+  whatever has accumulated (up to ``max_batch``) and submits the batch
+  to the worker pool in one wave (``service.batches`` /
+  ``service.batch_size``).
+- **execution** — the pool is the PR's pluggable executor tier:
+  ``executor="thread"`` shares one in-memory
+  :class:`~repro.pipeline.session.CompilationSession`;
+  ``executor="process"`` gives true CPU parallelism, with workers
+  sharing the session's sharded on-disk store.
+- **telemetry** — every computed request runs under its own
+  observability child, absorbed into the server's parent context
+  (tagged ``worker="request-<n>"``), and its wall time lands in the
+  ``service.request_seconds`` histogram. The ``stats`` admin op
+  returns the live metrics snapshot.
+- **graceful shutdown** — ``shutdown()`` (or the ``shutdown`` admin
+  op, or SIGINT/SIGTERM under ``impact-inline serve``) stops accepting
+  connections, lets every in-flight request finish and flush its
+  response, then tears the pool down.
+
+Admin operations (``ping``, ``stats``, ``shutdown``) are answered by
+the server itself and never reach the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.observability import Observability, resolve
+from repro.pipeline.parallel import validate_executor, validate_jobs
+from repro.service.ops import pool_execute, request_key
+
+#: Default Unix socket path (cwd-relative, like ``.repro-cache``).
+DEFAULT_SOCKET = ".repro-service.sock"
+
+
+class CompilationService:
+    """A local compile/profile/inline/check service over a Unix socket."""
+
+    def __init__(
+        self,
+        socket_path: str = DEFAULT_SOCKET,
+        jobs: int = 1,
+        executor: str = "thread",
+        cache_dir: str | None = None,
+        obs: Observability | None = None,
+        max_batch: int = 16,
+    ):
+        validate_jobs(jobs)
+        validate_executor(executor)
+        self.socket_path = socket_path
+        self.jobs = jobs
+        self.executor = executor
+        self.max_batch = max(1, max_batch)
+        self._session_spec = (
+            {"cache_dir": cache_dir, "max_entries": 256, "disk_max_entries": None}
+            if cache_dir
+            else None
+        )
+        self._obs = resolve(obs)
+        self._pool = None
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._request_seq = 0
+        self._active_responses = 0
+        self._idle: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Bind the socket, start the pool and the dispatch loop."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        pool_cls = (
+            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        )
+        self._pool = pool_cls(max_workers=self.jobs)
+        self._queue = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # a stale socket from a dead server
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path
+        )
+        if self._obs.metrics.enabled:
+            self._obs.metrics.gauge("service.jobs", self.jobs)
+
+    async def wait_stopped(self) -> None:
+        """Block until a graceful shutdown completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Stop accepting work, drain in-flight requests, tear down."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Every accepted request either coalesced onto an in-flight
+        # future or was queued; draining means letting all of them
+        # finish *and* flush their responses.
+        while self._inflight or self._active_responses:
+            if self._inflight:
+                await asyncio.gather(
+                    *list(self._inflight.values()), return_exceptions=True
+                )
+            if self._active_responses:
+                self._idle.clear()
+                await self._idle.wait()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+        for task in list(self._batch_tasks):
+            await asyncio.gather(task, return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # the wire protocol
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self._active_responses += 1
+                self._idle.clear()
+                try:
+                    response = await self._respond(line)
+                    writer.write(
+                        json.dumps(response, sort_keys=True, default=str).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                finally:
+                    self._active_responses -= 1
+                    if self._active_responses == 0:
+                        self._idle.set()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _respond(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"id": None, "ok": False, "error": f"bad request: {exc}"}
+        request_id = request.get("id")
+        op = request.get("op")
+        params = request.get("params") or {}
+        if op == "ping":
+            return {"id": request_id, "ok": True, "result": "pong"}
+        if op == "stats":
+            return {
+                "id": request_id,
+                "ok": True,
+                "result": self._obs.metrics.snapshot(),
+            }
+        if op == "shutdown":
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return {"id": request_id, "ok": True, "result": "draining"}
+        if self._draining:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "server is shutting down",
+            }
+        envelope, coalesced = await self._submit(op, params)
+        response = dict(envelope)
+        response["id"] = request_id
+        response["coalesced"] = coalesced
+        return response
+
+    # ------------------------------------------------------------------
+    # dedup + batching + execution
+
+    async def _submit(self, op: str, params: dict) -> tuple[dict, bool]:
+        """Coalesce onto in-flight work or queue a new computation."""
+        key = request_key(op, params)
+        if self._obs.metrics.enabled:
+            self._obs.metrics.inc("service.requests")
+        existing = self._inflight.get(key)
+        if existing is not None:
+            if self._obs.metrics.enabled:
+                self._obs.metrics.inc("service.requests.coalesced")
+            self._obs.tracer.event(
+                "service.coalesced", op=op, key=key[:12]
+            )
+            # shield: one client hanging up must not cancel a
+            # computation other clients are waiting on.
+            return await asyncio.shield(existing), True
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        await self._queue.put((key, op, params, future))
+        return await asyncio.shield(future), False
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if self._obs.metrics.enabled:
+                self._obs.metrics.inc("service.batches")
+                self._obs.metrics.observe("service.batch_size", len(batch))
+            # One task per entry, all submitted to the pool in one
+            # wave; batches overlap, so a slow batch never blocks the
+            # dispatcher.
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch) -> None:
+        await asyncio.gather(
+            *(self._run_one(*entry) for entry in batch),
+            return_exceptions=True,
+        )
+
+    async def _run_one(
+        self, key: str, op: str, params: dict, future: asyncio.Future
+    ) -> None:
+        self._request_seq += 1
+        sequence = self._request_seq
+        start = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            result, child = await loop.run_in_executor(
+                self._pool,
+                functools.partial(
+                    pool_execute,
+                    op,
+                    params,
+                    self._session_spec,
+                    self._obs.enabled,
+                ),
+            )
+            seconds = time.perf_counter() - start
+            if child is not None:
+                self._obs.absorb(child, worker=f"request-{sequence}")
+            if self._obs.metrics.enabled:
+                self._obs.metrics.observe("service.request_seconds", seconds)
+            envelope = {
+                "ok": True,
+                "result": result,
+                "seconds": round(seconds, 6),
+            }
+        except Exception as exc:
+            if self._obs.metrics.enabled:
+                self._obs.metrics.inc("service.requests.failed")
+            envelope = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            self._inflight.pop(key, None)
+        if not future.cancelled():
+            future.set_result(envelope)
+
+
+# ----------------------------------------------------------------------
+# embedding helper: run the service on a background thread
+
+
+class ServiceHandle:
+    """A running service on its own event-loop thread (tests, tooling)."""
+
+    def __init__(self, service: CompilationService, loop, thread):
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully drain and stop the service, then join the thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self._loop
+        )
+        future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+
+def serve_in_thread(
+    socket_path: str,
+    jobs: int = 1,
+    executor: str = "thread",
+    cache_dir: str | None = None,
+    obs: Observability | None = None,
+    max_batch: int = 16,
+    timeout: float = 30.0,
+) -> ServiceHandle:
+    """Start a :class:`CompilationService` on a daemon thread.
+
+    Returns once the socket is accepting connections. The caller owns
+    ``obs`` and may read it after :meth:`ServiceHandle.stop`.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    def runner():
+        async def main():
+            service = CompilationService(
+                socket_path,
+                jobs=jobs,
+                executor=executor,
+                cache_dir=cache_dir,
+                obs=obs,
+                max_batch=max_batch,
+            )
+            await service.start()
+            holder["service"] = service
+            holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            await service.wait_stopped()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True, name="repro-service")
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("service failed to start")
+    return ServiceHandle(holder["service"], holder["loop"], thread)

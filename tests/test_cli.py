@@ -1,5 +1,7 @@
 """Tests for the impact-inline CLI and the experiments __main__."""
 
+import os
+
 import pytest
 
 from repro.cli import main as cli_main
@@ -137,3 +139,72 @@ class TestSummaryFlag:
         assert code == 0
         assert "Table 4" in captured.out
         assert "pipeline.benchmarks" in captured.err
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("value", ["0", "-3", "nope"])
+    def test_tables_rejects_bad_jobs(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["tables", "--jobs", value])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--jobs", "0"])
+        assert excinfo.value.code == 2
+
+    def test_tables_rejects_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["tables", "--executor", "fiber"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_jobs_help_documents_the_tradeoff(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["tables", "--help"])
+        text = capsys.readouterr().out
+        assert "GIL" in text
+        assert "process" in text
+
+
+class TestServeAndCall:
+    def test_cli_round_trip(self, c_file, tmp_path, capsys):
+        import json
+        import threading
+        import time
+
+        socket_path = str(tmp_path / "cli.sock")
+        server = threading.Thread(
+            target=cli_main, args=(["serve", "--socket", socket_path],),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.time() + 30
+        while not os.path.exists(socket_path):
+            assert time.time() < deadline, "server socket never appeared"
+            time.sleep(0.05)
+        try:
+            code = cli_main(["call", "ping", "--socket", socket_path])
+            assert code == 0
+            assert json.loads(capsys.readouterr().out)["result"] == "pong"
+
+            code = cli_main(
+                ["call", "inline", c_file, "--socket", socket_path,
+                 "--threshold", "1.0"]
+            )
+            assert code == 0
+            envelope = json.loads(capsys.readouterr().out)
+            assert envelope["ok"] is True
+            assert envelope["result"]["expanded"] >= 1
+        finally:
+            cli_main(["call", "shutdown", "--socket", socket_path])
+            capsys.readouterr()
+            server.join(timeout=30)
+        assert not server.is_alive()
+
+    def test_call_without_file_errors(self, tmp_path, capsys):
+        code = cli_main(
+            ["call", "compile", "--socket", str(tmp_path / "none.sock")]
+        )
+        assert code == 2
+        assert "requires a FILE.c" in capsys.readouterr().err

@@ -6,6 +6,7 @@ from repro.experiments.pipeline import run_suite
 from repro.experiments.tables import all_tables, table4
 from repro.observability import Observability
 from repro.pipeline import CompilationSession, parallel_map
+from repro.pipeline.parallel import validate_executor, validate_jobs
 
 # In suite (Table 1) order — run_suite returns results in suite order.
 NAMES = ["cmp", "tee", "wc"]
@@ -93,7 +94,70 @@ class TestSessionCaching:
         assert all_tables(results) == all_tables(serial_results)
 
 
+class TestProcessExecutor:
+    def test_process_suite_equals_serial(self, serial_results):
+        parallel = run_suite(
+            "small", names=NAMES, jobs=2, executor="process"
+        )
+        assert [r.name for r in parallel] == NAMES
+        assert all_tables(parallel) == all_tables(serial_results)
+
+    def test_process_worker_observability_merged(self):
+        obs = Observability.create()
+        run_suite("small", names=NAMES, jobs=2, executor="process", obs=obs)
+        assert obs.metrics.counters["pipeline.benchmarks"] == len(NAMES)
+        benchmark_spans = [
+            r
+            for r in obs.tracer.records
+            if r["type"] == "span" and r["name"] == "benchmark"
+        ]
+        assert {span["attrs"]["name"] for span in benchmark_spans} == set(NAMES)
+        assert all("worker" in span for span in benchmark_spans)
+
+    def test_process_workers_share_disk_store(self, tmp_path):
+        session = CompilationSession(cache_dir=str(tmp_path / "cache"))
+        run_suite(
+            "small", names=NAMES, jobs=2, executor="process", session=session
+        )
+        warm_obs = Observability.create()
+        run_suite("small", names=NAMES, session=session, obs=warm_obs)
+        # The warm serial run reads artifacts the worker processes wrote.
+        assert warm_obs.metrics.counters.get("pipeline.cache.disk_hits", 0) > 0
+
+
+class TestValidation:
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            validate_jobs(0)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            run_suite("small", names=["wc"], jobs=-2)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            validate_executor("fiber")
+
+    def test_parallel_map_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            parallel_map(lambda x, _obs: x, [1], jobs=2, executor="fiber")
+
+
+def _square_task(item, obs):
+    obs.metrics.inc("tick")
+    return item * item
+
+
 class TestParallelMap:
+    def test_process_backend_with_picklable_task(self):
+        obs = Observability.create()
+        items = list(range(8))
+        result = parallel_map(
+            _square_task, items, jobs=2, obs=obs, executor="process"
+        )
+        assert result == [x * x for x in items]
+        assert obs.metrics.counters["tick"] == len(items)
+
     def test_order_preserved(self):
         items = list(range(20))
         assert parallel_map(lambda x, _obs: x * x, items, jobs=4) == [

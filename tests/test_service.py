@@ -1,0 +1,244 @@
+"""Tests for the compilation service: ops, server, client, dedup."""
+
+import os
+
+import pytest
+
+from repro.observability import Observability
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    execute,
+    request_key,
+    run_concurrent,
+    serve_in_thread,
+)
+from repro.service.server import CompilationService
+
+PROGRAM = """
+#include <sys.h>
+int triple(int x) { return x * 3; }
+int main(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 40; i++)
+        s += triple(i);
+    print_int(s);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+ECHO = """
+#include <sys.h>
+int main(void) {
+    int c = getchar();
+    while (c != EOF) { putchar(c); c = getchar(); }
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running service (thread pool, 2 workers) plus its parent obs."""
+    socket_path = str(tmp_path / "svc.sock")
+    obs = Observability.create()
+    handle = serve_in_thread(socket_path, jobs=2, executor="thread", obs=obs)
+    yield socket_path, obs, handle
+    if not handle.service._stopped.is_set():
+        handle.stop()
+
+
+class TestRequestKey:
+    def test_same_request_same_key(self):
+        assert request_key("inline", {"source": PROGRAM}) == request_key(
+            "inline", {"source": PROGRAM}
+        )
+
+    def test_key_covers_op_and_params(self):
+        base = request_key("inline", {"source": PROGRAM})
+        assert request_key("check", {"source": PROGRAM}) != base
+        assert request_key("inline", {"source": PROGRAM, "threshold": 1}) != base
+
+
+class TestOps:
+    def test_compile_reports_sizes(self):
+        result = execute("compile", {"source": PROGRAM})
+        assert result["code_size"] > 0
+        assert "main" in result["functions"]
+        assert "il" not in result
+
+    def test_compile_dump_includes_il(self):
+        result = execute("compile", {"source": PROGRAM, "dump": True})
+        assert "func main" in result["il"] or "main" in result["il"]
+
+    def test_profile_runs_the_program(self):
+        result = execute("profile", {"source": ECHO, "stdin": "ping"})
+        assert result["exit_code"] == 0
+        assert result["stdout"] == "ping"
+        assert result["il"] > 0
+
+    def test_inline_eliminates_hot_calls(self):
+        result = execute("inline", {"source": PROGRAM, "threshold": 1.0})
+        assert result["expanded"] >= 1
+        assert result["calls_after"] < result["calls_before"]
+
+    def test_check_compares_original_and_inlined(self):
+        result = execute("check", {"source": PROGRAM, "threshold": 1.0})
+        assert result["ok"] is True
+        assert result["divergences"] == []
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            execute("explode", {})
+
+    def test_missing_source_raises(self):
+        with pytest.raises(ValueError, match="source"):
+            execute("compile", {})
+
+
+class TestServiceRoundTrip:
+    def test_ping(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            assert client.ping() == "pong"
+
+    def test_service_matches_direct_calls(self, service):
+        """The acceptance bar: service results == batch-path results."""
+        socket_path, _obs, _handle = service
+        requests = [
+            ("compile", {"source": PROGRAM}),
+            ("profile", {"source": ECHO, "stdin": "hello"}),
+            ("inline", {"source": PROGRAM, "threshold": 1.0}),
+            ("check", {"source": PROGRAM, "threshold": 1.0}),
+        ]
+        with ServiceClient(socket_path) as client:
+            for op, params in requests:
+                assert client.request(op, params) == execute(op, params)
+
+    def test_error_reply_raises_service_error(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            with pytest.raises(ServiceError, match="unknown operation"):
+                client.request("explode", {})
+            # the connection survives an error reply
+            assert client.ping() == "pong"
+
+    def test_compile_error_is_an_error_reply_not_a_crash(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            with pytest.raises(ServiceError):
+                client.compile("int main(void) { return !!!; }")
+            assert client.stats()["counters"]["service.requests.failed"] == 1
+
+
+class TestDeduplication:
+    def test_identical_concurrent_requests_coalesce(self, service):
+        socket_path, obs, _handle = service
+        envelopes = run_concurrent(
+            socket_path,
+            [("inline", {"source": PROGRAM, "threshold": 1.0})] * 6,
+        )
+        assert all(env["ok"] for env in envelopes)
+        results = [env["result"] for env in envelopes]
+        assert all(result == results[0] for result in results)
+        assert sum(1 for env in envelopes if env["coalesced"]) >= 1
+        assert obs.metrics.counters["service.requests.coalesced"] >= 1
+        # coalesced requests share one computation: strictly fewer
+        # executions than requests.
+        with ServiceClient(socket_path) as client:
+            stats = client.stats()
+        histogram = stats["histograms"]["service.request_seconds"]
+        assert histogram["count"] < len(envelopes)
+
+    def test_distinct_requests_do_not_coalesce(self, service):
+        socket_path, obs, _handle = service
+        envelopes = run_concurrent(
+            socket_path,
+            [
+                ("compile", {"source": PROGRAM}),
+                ("compile", {"source": ECHO}),
+            ],
+        )
+        assert all(env["ok"] for env in envelopes)
+        assert (
+            envelopes[0]["result"]["code_size"]
+            != envelopes[1]["result"]["code_size"]
+        )
+
+
+class TestTelemetry:
+    def test_per_request_telemetry_absorbed_into_parent(self, service):
+        socket_path, obs, handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+        handle.stop()
+        workers = {
+            record.get("worker")
+            for record in obs.tracer.records
+            if record.get("worker")
+        }
+        assert any(worker.startswith("request-") for worker in workers)
+        assert obs.metrics.counters["service.requests"] >= 1
+        assert obs.metrics.counters["service.batches"] >= 1
+
+    def test_batch_size_histogram_recorded(self, service):
+        socket_path, obs, _handle = service
+        run_concurrent(socket_path, [("compile", {"source": PROGRAM})] * 3)
+        assert obs.metrics.histogram("service.batch_size")["count"] >= 1
+
+
+class TestShutdown:
+    def test_graceful_shutdown_removes_socket(self, tmp_path):
+        socket_path = str(tmp_path / "stop.sock")
+        handle = serve_in_thread(socket_path, jobs=1)
+        with ServiceClient(socket_path) as client:
+            assert client.ping() == "pong"
+        handle.stop()
+        assert not os.path.exists(socket_path)
+
+    def test_shutdown_op_drains(self, tmp_path):
+        socket_path = str(tmp_path / "drain.sock")
+        handle = serve_in_thread(socket_path, jobs=2)
+        with ServiceClient(socket_path) as client:
+            assert client.inline(PROGRAM, threshold=1.0)["expanded"] >= 1
+            assert client.shutdown() == "draining"
+        handle._thread.join(timeout=30)
+        assert not handle._thread.is_alive()
+        assert not os.path.exists(socket_path)
+
+
+class TestValidation:
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            CompilationService("x.sock", jobs=0)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            CompilationService("x.sock", executor="fiber")
+
+
+class TestProcessBackend:
+    def test_process_pool_round_trip_with_shared_cache(self, tmp_path):
+        socket_path = str(tmp_path / "proc.sock")
+        cache_dir = str(tmp_path / "cache")
+        obs = Observability.create()
+        handle = serve_in_thread(
+            socket_path, jobs=2, executor="process", cache_dir=cache_dir, obs=obs
+        )
+        try:
+            with ServiceClient(socket_path) as client:
+                direct = execute("inline", {"source": PROGRAM, "threshold": 1.0})
+                assert client.inline(PROGRAM, threshold=1.0) == direct
+                # the same compile again is served from the shared
+                # disk store a sibling worker populated
+                assert client.compile(PROGRAM)["code_size"] > 0
+        finally:
+            handle.stop()
+        sharded = [
+            name
+            for _root, _dirs, files in os.walk(os.path.join(cache_dir, "v1"))
+            for name in files
+        ]
+        assert sharded, "process workers populated the sharded store"

@@ -124,7 +124,7 @@ class TestDiskStore:
         cache_dir = str(tmp_path / "cache")
         CompilationSession(cache_dir=cache_dir).compiled_module(SOURCE)
         store = tmp_path / "cache" / "v1"
-        entries = list(store.iterdir())
+        entries = list(store.rglob("*.pkl"))
         assert entries
         for entry in entries:
             entry.write_bytes(b"\x00garbage not pickle")
@@ -156,6 +156,100 @@ class TestDiskStore:
 
 def _raise_oserror(*args, **kwargs):
     raise OSError("read-only file system")
+
+
+class TestShardedLayout:
+    def test_entries_live_in_two_hex_shards(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        CompilationSession(cache_dir=cache_dir).compiled_module(SOURCE)
+        entries = list((tmp_path / "cache" / "v1").rglob("*.pkl"))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.parent.name == entry.stem[:2]
+        assert entry.parent.parent.name == "module"
+
+    def test_legacy_flat_entries_still_readable(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        CompilationSession(cache_dir=cache_dir).compiled_module(SOURCE)
+        store = tmp_path / "cache" / "v1"
+        (entry,) = store.rglob("*.pkl")
+        # Demote the entry to the pre-sharding flat layout.
+        kind = entry.parent.parent.name
+        entry.rename(store / f"{kind}-{entry.name}")
+        entry.parent.rmdir()
+
+        obs = Observability.create()
+        session = CompilationSession(cache_dir=cache_dir, obs=obs)
+        module = session.compiled_module(SOURCE)
+        assert _cache_counters(obs).get("disk_hits") == 1
+        assert Machine(module).run().exit_code == 0
+
+    def test_spec_round_trip(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        session = CompilationSession(
+            cache_dir=cache_dir, max_entries=7, disk_max_entries=40
+        )
+        clone = CompilationSession.from_spec(session.spec())
+        assert clone.cache_dir == cache_dir
+        assert clone.max_entries == 7
+        assert clone.disk_max_entries == 40
+        assert CompilationSession.from_spec(None) is None
+
+
+class TestDiskEviction:
+    def test_oldest_entry_evicted_beyond_limit(self, tmp_path):
+        obs = Observability.create()
+        session = CompilationSession(
+            cache_dir=str(tmp_path / "cache"), disk_max_entries=1, obs=obs
+        )
+        session.compiled_module(SOURCE)
+        os.utime(
+            next((tmp_path / "cache" / "v1").rglob("*.pkl")), times=(1, 1)
+        )
+        session.compiled_module(OTHER_SOURCE)
+        entries = list((tmp_path / "cache" / "v1").rglob("*.pkl"))
+        assert len(entries) == 1
+        assert _cache_counters(obs)["disk_evictions"] == 1
+        # The survivor is the newer entry: OTHER_SOURCE is a disk hit
+        # for a fresh session, SOURCE a miss.
+        fresh_obs = Observability.create()
+        fresh = CompilationSession(
+            cache_dir=str(tmp_path / "cache"), obs=fresh_obs
+        )
+        fresh.compiled_module(OTHER_SOURCE)
+        assert _cache_counters(fresh_obs).get("disk_hits") == 1
+
+
+def _hammer_cache(args):
+    """Worker for the concurrency test: compile both sources repeatedly."""
+    cache_dir, rounds = args
+    digests = set()
+    for _ in range(rounds):
+        session = CompilationSession(cache_dir=cache_dir)
+        for source in (SOURCE, OTHER_SOURCE):
+            digests.add(format_module(session.compiled_module(source)))
+    return sorted(digests)
+
+
+class TestCrossProcessSafety:
+    def test_concurrent_processes_never_corrupt_the_store(self, tmp_path):
+        import multiprocessing
+
+        cache_dir = str(tmp_path / "cache")
+        context = multiprocessing.get_context("fork")
+        with context.Pool(4) as pool:
+            digest_sets = pool.map(_hammer_cache, [(cache_dir, 5)] * 4)
+        # Every process saw the same two modules...
+        assert all(digests == digest_sets[0] for digests in digest_sets)
+        assert len(digest_sets[0]) == 2
+        # ...and the store they all wrote is intact and readable.
+        obs = Observability.create()
+        session = CompilationSession(cache_dir=cache_dir, obs=obs)
+        for source in (SOURCE, OTHER_SOURCE):
+            assert Machine(session.compiled_module(source)).run().exit_code == 0
+        counters = _cache_counters(obs)
+        assert counters.get("disk_hits") == 2
+        assert counters.get("misses") is None
 
 
 class TestPreOptimizedCaching:
