@@ -24,10 +24,17 @@ Subcommands::
         Long-running compilation service on a local Unix socket:
         batches and deduplicates concurrent compile/profile/inline/
         check requests onto a worker pool; SIGINT/SIGTERM drain
-        gracefully. See README "Service mode".
+        gracefully. ``--prom-out FILE`` keeps a Prometheus text
+        exposition file fresh, ``--slow-log FILE`` appends a JSONL
+        record for every slow/failed request. See README "Service
+        mode".
     impact-inline call OP [FILE.c] [--socket PATH] ...
         Client for a running server: compile|profile|inline|check a
-        source file, or ping|stats|shutdown the server.
+        source file, or ping|health|stats|metrics|shutdown the server.
+    impact-inline top [--socket PATH] [--interval S] [--count N]
+        Live dashboard over a running server: throughput, per-op
+        latency percentiles, queue depth, pool utilization, and cache
+        hit rates, refreshed every --interval seconds.
 
 ``run``, ``inline``, and ``tables`` accept ``--check`` (re-verify IL
 well-formedness — for ``inline`` and ``tables`` after every pipeline
@@ -336,6 +343,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         obs=obs,
         max_batch=args.max_batch,
+        slow_log=args.slow_log,
+        slow_threshold=args.slow_threshold,
+        prom_out=args.prom_out,
+        prom_interval=args.prom_interval,
     )
 
     async def main() -> None:
@@ -394,8 +405,24 @@ def _cmd_call(args: argparse.Namespace) -> int:
         except ServiceError as exc:
             print(f"service error: {exc}", file=sys.stderr)
             return 1
+    if args.op == "metrics" and envelope.get("ok"):
+        # Prometheus text exposition goes to stdout verbatim, scrapable
+        # with `impact-inline call metrics > metrics.prom`.
+        sys.stdout.write(envelope["result"]["body"])
+        return 0
     print(json.dumps(envelope, indent=2, sort_keys=True, default=str))
     return 0 if envelope.get("ok") else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.top import watch
+
+    return watch(
+        args.socket,
+        interval=args.interval,
+        count=args.count,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -705,6 +732,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="max requests dispatched to the pool in one wave",
     )
+    serve_parser.add_argument(
+        "--slow-log",
+        default=None,
+        metavar="FILE",
+        help="append a JSONL record (trace_id, op, duration, cache"
+        " outcome) for every request slower than --slow-threshold and"
+        " for every failed request",
+    )
+    serve_parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="slow-request threshold for --slow-log (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="FILE",
+        help="keep a Prometheus text exposition file fresh (rewritten"
+        " atomically every --prom-interval seconds; same format as the"
+        " 'metrics' admin op)",
+    )
+    serve_parser.add_argument(
+        "--prom-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="refresh period for --prom-out (default: 5.0)",
+    )
     _add_obs_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -713,7 +770,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     call_parser.add_argument(
         "op",
-        choices=["compile", "profile", "inline", "check", "ping", "stats", "shutdown"],
+        choices=[
+            "compile",
+            "profile",
+            "inline",
+            "check",
+            "ping",
+            "health",
+            "stats",
+            "metrics",
+            "shutdown",
+        ],
     )
     call_parser.add_argument("file", nargs="?", default=None)
     call_parser.add_argument(
@@ -728,6 +795,37 @@ def main(argv: list[str] | None = None) -> int:
     call_parser.add_argument("--growth", type=float, default=1.25)
     call_parser.add_argument("--dump", action="store_true")
     call_parser.set_defaults(func=_cmd_call)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live dashboard (throughput, latency percentiles, queue"
+        " depth, cache rates) over a running service",
+    )
+    top_parser.add_argument(
+        "--socket",
+        default=".repro-service.sock",
+        metavar="PATH",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="polling/refresh period (default: 2.0)",
+    )
+    top_parser.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="render N frames then exit (default 0: until Ctrl-C)",
+    )
+    top_parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     report_parser = sub.add_parser(
         "report",

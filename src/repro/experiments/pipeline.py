@@ -128,7 +128,18 @@ def run_benchmark(
     params = params or InlineParameters()
     obs = resolve(obs)
     tracer = obs.tracer
-    with tracer.span("benchmark", name=benchmark.name, scale=scale) as attrs:
+    # Mint a per-benchmark trace id (unless the caller already bound
+    # one, e.g. a service request): every span/event/decision this run
+    # emits then carries it, so one grep isolates one benchmark even in
+    # an interleaved parallel trace.
+    scoped: dict = {}
+    if tracer.enabled and "trace_id" not in tracer.bound_context():
+        from repro.observability.context import new_trace_id
+
+        scoped["trace_id"] = new_trace_id()
+    with tracer.context(**scoped), tracer.span(
+        "benchmark", name=benchmark.name, scale=scale
+    ) as attrs:
         if session is not None:
             with tracer.span("benchmark.compile", name=benchmark.name):
                 module = session.compile_benchmark(

@@ -37,7 +37,18 @@ from repro.observability.bench import (
     load_record,
     record_from_results,
 )
-from repro.observability.metrics import MetricsRegistry, NullMetrics
+from repro.observability.context import (
+    TraceContext,
+    new_request_id,
+    new_trace_id,
+)
+from repro.observability.metrics import (
+    DEFAULT_MAX_SAMPLES,
+    MetricsRegistry,
+    NullMetrics,
+    labeled,
+    split_labels,
+)
 from repro.observability.tracer import NullTracer, Tracer
 
 
@@ -103,12 +114,17 @@ __all__ = [
     "BenchComparison",
     "BenchRecord",
     "BenchRecorder",
+    "DEFAULT_MAX_SAMPLES",
     "DecisionReason",
     "InlineDecision",
     "MetricDelta",
     "MetricsRegistry",
+    "TraceContext",
     "compare",
+    "labeled",
     "load_record",
+    "new_request_id",
+    "new_trace_id",
     "record_from_results",
     "NULL_OBS",
     "NullMetrics",
@@ -118,5 +134,6 @@ __all__ = [
     "enable_console_logging",
     "get_logger",
     "resolve",
+    "split_labels",
     "summarize_decisions",
 ]

@@ -18,7 +18,10 @@ Each worker records into its own forked
 the parent **in item order, as soon as that item (and every earlier
 item) finishes** — so traces and metrics stay whole and deterministic
 while no more than the in-flight window of children is held in memory.
-Each absorbed record is tagged with its worker's label.
+Each absorbed record is tagged with its worker's label, and the parent
+tracer's bound correlation context (``trace_id`` etc., see
+:mod:`repro.observability.context`) is re-bound on every child so
+worker records carry it at emit time on either backend.
 
 ``jobs=1`` short-circuits to a plain loop over the parent context,
 byte-identical to the historical serial code path.
@@ -70,13 +73,18 @@ def validate_executor(executor: str) -> str:
     return executor
 
 
-def _process_task(fn, item, want_obs: bool):
+def _process_task(fn, item, want_obs: bool, context: dict | None = None):
     """Run one task in a worker process, capturing its observability.
 
     Module-level so it pickles; the child context rides back to the
     parent in the return value (tracers and metrics are plain data).
+    ``context`` is the parent tracer's bound correlation context
+    (e.g. ``trace_id``), re-bound here so worker records carry it at
+    emit time even across the process boundary.
     """
     child = Observability.create() if want_obs else None
+    if child is not None and context:
+        child.tracer.bind(**context)
     result = fn(item, resolve(child))
     return result, child
 
@@ -101,10 +109,11 @@ def parallel_map(
     if jobs <= 1 or len(items) <= 1:
         return [fn(item, parent) for item in items]
     results: list[R] = []
+    bound = parent.tracer.bound_context()
     if executor == "process":
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_process_task, fn, item, parent.enabled)
+                pool.submit(_process_task, fn, item, parent.enabled, bound)
                 for item in items
             ]
             for index, future in enumerate(futures):
@@ -117,6 +126,10 @@ def parallel_map(
     children: list[Observability | None] = [
         Observability.create() if parent.enabled else None for _ in items
     ]
+    if bound:
+        for child in children:
+            if child is not None:
+                child.tracer.bind(**bound)
     with ThreadPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(fn, item, resolve(child))

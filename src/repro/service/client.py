@@ -6,6 +6,12 @@ operation. :func:`arequest` is the asyncio variant (one request per
 connection), and :func:`run_concurrent` fires a whole list of requests
 at once — the natural way to exercise (and test) the server's
 in-flight deduplication.
+
+Every request carries a
+:class:`~repro.observability.context.TraceContext` — minted here at
+the client unless the caller passes one — and every response echoes
+``trace_id``/``request_id``, so a client log line and the server's
+trace JSONL correlate on the same ids.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+
+from repro.observability.context import TraceContext
 
 
 class ServiceError(RuntimeError):
@@ -50,16 +58,28 @@ class ServiceClient:
         return line
 
     def request(
-        self, op: str, params: dict | None = None, raw: bool = False
+        self,
+        op: str,
+        params: dict | None = None,
+        raw: bool = False,
+        trace: TraceContext | None = None,
     ) -> dict:
         """Send one request and wait for its response.
 
         Returns the operation result, or the full response envelope
-        (``id``/``ok``/``result``/``coalesced``/``seconds``) with
-        ``raw=True``. Raises :class:`ServiceError` on an error reply.
+        (``id``/``ok``/``result``/``coalesced``/``seconds``/
+        ``trace_id``/``request_id``) with ``raw=True``. A fresh
+        :class:`TraceContext` is minted per request unless ``trace`` is
+        given. Raises :class:`ServiceError` on an error reply.
         """
         self._next_id += 1
-        payload = {"id": self._next_id, "op": op, "params": params or {}}
+        trace = trace or TraceContext.mint()
+        payload = {
+            "id": self._next_id,
+            "op": op,
+            "params": params or {},
+            "trace": trace.to_wire(),
+        }
         self._connection().sendall(
             json.dumps(payload, default=str).encode() + b"\n"
         )
@@ -90,6 +110,14 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def health(self) -> dict:
+        """Liveness/readiness checks plus uptime (the ``health`` op)."""
+        return self.request("health")
+
+    def metrics(self) -> dict:
+        """Prometheus text exposition (``{"content_type", "body"}``)."""
+        return self.request("metrics")
+
     def shutdown(self) -> str:
         return self.request("shutdown")
 
@@ -109,12 +137,25 @@ class ServiceClient:
 
 
 async def arequest(
-    socket_path: str, op: str, params: dict | None = None
+    socket_path: str,
+    op: str,
+    params: dict | None = None,
+    trace: TraceContext | None = None,
 ) -> dict:
-    """One async request on its own connection; returns the envelope."""
+    """One async request on its own connection; returns the envelope.
+
+    Mints a :class:`TraceContext` unless one is given; the returned
+    envelope's ``trace_id``/``request_id`` echo the ids that were sent.
+    """
     reader, writer = await asyncio.open_unix_connection(socket_path)
     try:
-        payload = {"id": 1, "op": op, "params": params or {}}
+        trace = trace or TraceContext.mint()
+        payload = {
+            "id": 1,
+            "op": op,
+            "params": params or {},
+            "trace": trace.to_wire(),
+        }
         writer.write(json.dumps(payload, default=str).encode() + b"\n")
         await writer.drain()
         line = await reader.readline()
@@ -126,19 +167,21 @@ async def arequest(
 
 
 def run_concurrent(
-    socket_path: str, requests: list[tuple[str, dict | None]]
+    socket_path: str, requests: list[tuple]
 ) -> list[dict]:
-    """Fire every (op, params) request at once; envelopes in order.
+    """Fire every request at once; envelopes come back in order.
 
-    Identical requests submitted this way race into the server
-    together, so all but the first coalesce onto one computation —
-    check the ``coalesced`` flag on the returned envelopes.
+    Each request is ``(op, params)`` or ``(op, params, trace)`` with an
+    explicit :class:`TraceContext`. Identical requests submitted this
+    way race into the server together, so all but the first coalesce
+    onto one computation — check the ``coalesced`` flag on the
+    returned envelopes (each still echoes its own ``trace_id``).
     """
 
     async def _go():
         return list(
             await asyncio.gather(
-                *(arequest(socket_path, op, params) for op, params in requests)
+                *(arequest(socket_path, *request) for request in requests)
             )
         )
 

@@ -25,7 +25,8 @@ import json
 from repro.observability import Observability, resolve
 
 #: Operations a client may request. Admin operations (ping, stats,
-#: shutdown) are handled by the server itself and never reach the pool.
+#: health, metrics, shutdown) are handled by the server itself and
+#: never reach the pool.
 OP_NAMES = ("compile", "profile", "inline", "check")
 
 
@@ -184,6 +185,7 @@ def pool_execute(
     params: dict | None,
     session_spec: dict | None,
     want_obs: bool,
+    trace: dict | None = None,
 ):
     """The worker-pool entry point (picklable for process pools).
 
@@ -191,10 +193,23 @@ def pool_execute(
     its parent observability so per-request telemetry lands in one
     trace. Process workers re-open the shared disk cache from
     ``session_spec`` (see :meth:`CompilationSession.spec`).
+
+    ``trace`` is the request's wire-form
+    :class:`~repro.observability.context.TraceContext`; when present it
+    is bound onto the worker's tracer, so every span and event the
+    worker emits — across the process boundary — carries the request's
+    ``trace_id``/``request_id`` at emit time, not just after the server
+    stamps the absorbed records.
     """
     from repro.experiments.pipeline import _session_from_spec
 
     child = Observability.create() if want_obs else None
+    if child is not None and trace:
+        from repro.observability.context import TraceContext
+
+        context = TraceContext.from_wire(trace)
+        if context is not None:
+            child.tracer.bind(**context.attrs())
     result = execute(
         op, params, obs=resolve(child), session=_session_from_spec(session_spec)
     )

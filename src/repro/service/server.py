@@ -4,12 +4,22 @@
 speaks newline-delimited JSON: one request object per line in, one
 response object per line out, on a persistent connection::
 
-    {"id": 1, "op": "inline", "params": {"source": "...", ...}}
+    {"id": 1, "op": "inline", "params": {"source": "...", ...},
+     "trace": {"trace_id": "9f2c...", "request_id": "03ab..."}}
     {"id": 1, "ok": true, "result": {...}, "coalesced": false,
-     "seconds": 0.012}
+     "seconds": 0.012, "trace_id": "9f2c...", "request_id": "03ab..."}
 
 Request flow:
 
+- **trace context** — every request carries a
+  :class:`~repro.observability.context.TraceContext`, minted at the
+  client or (when absent) at the server edge. The context rides the
+  dispatch queue into the worker pool, is bound onto the worker's
+  tracer (so worker spans carry it at emit time), and is echoed on the
+  response, so ``grep <trace_id>`` over the trace JSONL reconstructs
+  the request end-to-end across processes. Coalesced requests keep
+  their own ids; the primary computation's completion event records
+  every attached trace_id.
 - **dedup** — each request is content-addressed by
   :func:`~repro.service.ops.request_key`. A request whose key matches
   one already in flight does not compute anything: it awaits the same
@@ -18,23 +28,38 @@ Request flow:
   whatever has accumulated (up to ``max_batch``) and submits the batch
   to the worker pool in one wave (``service.batches`` /
   ``service.batch_size``).
-- **execution** — the pool is the PR's pluggable executor tier:
+- **execution** — the pool is the pluggable executor tier:
   ``executor="thread"`` shares one in-memory
   :class:`~repro.pipeline.session.CompilationSession`;
   ``executor="process"`` gives true CPU parallelism, with workers
   sharing the session's sharded on-disk store.
 - **telemetry** — every computed request runs under its own
   observability child, absorbed into the server's parent context
-  (tagged ``worker="request-<n>"``), and its wall time lands in the
-  ``service.request_seconds`` histogram. The ``stats`` admin op
-  returns the live metrics snapshot.
+  (tagged ``worker="request-<n>"`` plus the request's trace ids), and
+  its wall time lands in ``service.request_seconds`` and the per-op
+  ``service.op_seconds{op=...}`` histograms. Operational gauges
+  (``service.queue_depth``, ``service.inflight``,
+  ``service.pool_busy``/``service.pool_utilization``) are refreshed on
+  every state change and on every scrape; failures count into
+  ``service.errors{class=...,op=...}``. Requests slower than
+  ``slow_threshold`` (and every failed request) append a structured
+  record to the ``slow_log`` JSONL (trace ids, op, duration, cache
+  outcome).
+- **exposition** — the ``metrics`` admin op renders the registry as
+  Prometheus text (``repro_*`` families); ``prom_out`` additionally
+  rewrites that text to a file every ``prom_interval`` seconds for
+  file-based scraping. ``health`` reports liveness/readiness (pool up,
+  socket accepting, cache dir writable); ``stats`` returns the raw
+  snapshot enriched with uptime, request totals, per-op latency
+  percentiles, and cache rates.
 - **graceful shutdown** — ``shutdown()`` (or the ``shutdown`` admin
   op, or SIGINT/SIGTERM under ``impact-inline serve``) stops accepting
   connections, lets every in-flight request finish and flush its
   response, then tears the pool down.
 
-Admin operations (``ping``, ``stats``, ``shutdown``) are answered by
-the server itself and never reach the pool.
+Admin operations (``ping``, ``stats``, ``health``, ``metrics``,
+``shutdown``) are answered by the server itself and never reach the
+pool.
 """
 
 from __future__ import annotations
@@ -47,12 +72,22 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
-from repro.observability import Observability, resolve
+from repro.observability import Observability, labeled, resolve, split_labels
+from repro.observability.context import TraceContext
+from repro.observability.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    append_jsonl,
+    render_prometheus,
+    slow_request_record,
+)
 from repro.pipeline.parallel import validate_executor, validate_jobs
 from repro.service.ops import pool_execute, request_key
 
 #: Default Unix socket path (cwd-relative, like ``.repro-cache``).
 DEFAULT_SOCKET = ".repro-service.sock"
+
+#: Default slow-request threshold (seconds).
+DEFAULT_SLOW_THRESHOLD = 1.0
 
 
 class CompilationService:
@@ -66,6 +101,10 @@ class CompilationService:
         cache_dir: str | None = None,
         obs: Observability | None = None,
         max_batch: int = 16,
+        slow_log: str | None = None,
+        slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+        prom_out: str | None = None,
+        prom_interval: float = 5.0,
     ):
         validate_jobs(jobs)
         validate_executor(executor)
@@ -73,6 +112,11 @@ class CompilationService:
         self.jobs = jobs
         self.executor = executor
         self.max_batch = max(1, max_batch)
+        self.slow_log = slow_log
+        self.slow_threshold = slow_threshold
+        self.prom_out = prom_out
+        self.prom_interval = max(0.05, prom_interval)
+        self._cache_dir = cache_dir
         self._session_spec = (
             {"cache_dir": cache_dir, "max_entries": 256, "disk_max_entries": None}
             if cache_dir
@@ -83,11 +127,17 @@ class CompilationService:
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._exporter: asyncio.Task | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        #: key -> every trace_id attached to that in-flight computation
+        #: (the primary request's id first, coalesced joiners after).
+        self._inflight_traces: dict[str, list[str]] = {}
         self._batch_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self._request_seq = 0
         self._active_responses = 0
+        self._pool_busy = 0
+        self._started_unix: float | None = None
         self._idle: asyncio.Event | None = None
         self._stopped: asyncio.Event | None = None
         self._draining = False
@@ -107,6 +157,7 @@ class CompilationService:
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
+        self._started_unix = time.time()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)  # a stale socket from a dead server
@@ -115,6 +166,10 @@ class CompilationService:
         )
         if self._obs.metrics.enabled:
             self._obs.metrics.gauge("service.jobs", self.jobs)
+            self._update_gauges()
+        if self.prom_out:
+            self._write_prometheus()
+            self._exporter = asyncio.create_task(self._export_loop())
 
     async def wait_stopped(self) -> None:
         """Block until a graceful shutdown completes."""
@@ -141,17 +196,131 @@ class CompilationService:
                 await self._idle.wait()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
+        if self._exporter is not None:
+            self._exporter.cancel()
         for task in list(self._batch_tasks):
             await asyncio.gather(task, return_exceptions=True)
         for writer in list(self._writers):
             writer.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self.prom_out:
+            self._write_prometheus()  # final state for file scrapers
         try:
             os.unlink(self.socket_path)
         except OSError:
             pass
         self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # operational gauges + exposition
+
+    def _update_gauges(self) -> None:
+        """Refresh the live operational gauges (cheap; called on every
+        state change and on every scrape so they are never stale)."""
+        metrics = self._obs.metrics
+        if not metrics.enabled:
+            return
+        metrics.gauge(
+            "service.queue_depth", self._queue.qsize() if self._queue else 0
+        )
+        metrics.gauge("service.inflight", len(self._inflight))
+        metrics.gauge("service.pool_busy", self._pool_busy)
+        metrics.gauge(
+            "service.pool_utilization",
+            self._pool_busy / self.jobs if self.jobs else 0.0,
+        )
+        if self._started_unix is not None:
+            metrics.gauge(
+                "service.uptime_seconds",
+                round(time.time() - self._started_unix, 3),
+            )
+
+    def _write_prometheus(self) -> None:
+        """Atomically rewrite the Prometheus text file (``prom_out``)."""
+        self._update_gauges()
+        tmp = f"{self.prom_out}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(self._obs.metrics))
+        os.replace(tmp, self.prom_out)
+
+    async def _export_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.prom_interval)
+            self._write_prometheus()
+
+    def _uptime(self) -> float:
+        if self._started_unix is None:
+            return 0.0
+        return round(time.time() - self._started_unix, 3)
+
+    def _health_result(self) -> dict:
+        """Liveness + readiness: pool up, socket accepting, cache dir
+        writable. Answering at all is liveness; ``ready`` means the
+        server can actually take compute traffic right now."""
+        pool_ok = self._pool is not None and not self._draining
+        socket_ok = self._server is not None and self._server.is_serving()
+        cache_ok = True
+        if self._cache_dir:
+            try:
+                os.makedirs(self._cache_dir, exist_ok=True)
+                cache_ok = os.access(self._cache_dir, os.W_OK)
+            except OSError:
+                cache_ok = False
+        checks = {"pool": pool_ok, "socket": socket_ok, "cache_dir": cache_ok}
+        ready = all(checks.values())
+        return {
+            "status": "ok" if ready else "degraded",
+            "live": True,
+            "ready": ready,
+            "checks": checks,
+            "uptime_seconds": self._uptime(),
+            "jobs": self.jobs,
+            "executor": self.executor,
+            "draining": self._draining,
+        }
+
+    def _stats_result(self) -> dict:
+        """The metrics snapshot enriched with a ``service`` section:
+        uptime, request totals, queue/pool state, per-op latency
+        percentiles, and cache rates."""
+        self._update_gauges()
+        snapshot = self._obs.metrics.snapshot()
+        counters = snapshot["counters"]
+        ops: dict[str, dict] = {}
+        for name, stats in snapshot["histograms"].items():
+            base, labels = split_labels(name)
+            if base == "service.op_seconds" and "op" in labels:
+                ops[labels["op"]] = {
+                    key: stats[key]
+                    for key in ("count", "mean", "min", "max", "p50", "p90", "p99")
+                    if key in stats
+                }
+        hits = counters.get("pipeline.cache.hits", 0)
+        misses = counters.get("pipeline.cache.misses", 0)
+        snapshot["service"] = {
+            "uptime_seconds": self._uptime(),
+            "started_unix": self._started_unix,
+            "requests": {
+                "total": counters.get("service.requests", 0),
+                "failed": counters.get("service.requests.failed", 0),
+                "coalesced": counters.get("service.requests.coalesced", 0),
+            },
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "inflight": len(self._inflight),
+            "pool": {
+                "jobs": self.jobs,
+                "executor": self.executor,
+                "busy": self._pool_busy,
+            },
+            "ops": ops,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            },
+        }
+        return snapshot
 
     # ------------------------------------------------------------------
     # the wire protocol
@@ -192,50 +361,73 @@ class CompilationService:
         request_id = request.get("id")
         op = request.get("op")
         params = request.get("params") or {}
+        # The server edge: adopt the client's trace context, or mint one
+        # so even untraced clients get correlated telemetry + echo.
+        trace = TraceContext.from_wire(request.get("trace")) or TraceContext.mint()
+
+        def reply(body: dict) -> dict:
+            body["id"] = request_id
+            body["trace_id"] = trace.trace_id
+            body["request_id"] = trace.request_id
+            return body
+
         if op == "ping":
-            return {"id": request_id, "ok": True, "result": "pong"}
+            return reply({"ok": True, "result": "pong"})
+        if op == "health":
+            return reply({"ok": True, "result": self._health_result()})
         if op == "stats":
-            return {
-                "id": request_id,
-                "ok": True,
-                "result": self._obs.metrics.snapshot(),
-            }
+            return reply({"ok": True, "result": self._stats_result()})
+        if op == "metrics":
+            self._update_gauges()
+            return reply(
+                {
+                    "ok": True,
+                    "result": {
+                        "content_type": PROMETHEUS_CONTENT_TYPE,
+                        "body": render_prometheus(self._obs.metrics),
+                    },
+                }
+            )
         if op == "shutdown":
             asyncio.get_running_loop().create_task(self.shutdown())
-            return {"id": request_id, "ok": True, "result": "draining"}
+            return reply({"ok": True, "result": "draining"})
         if self._draining:
-            return {
-                "id": request_id,
-                "ok": False,
-                "error": "server is shutting down",
-            }
-        envelope, coalesced = await self._submit(op, params)
+            return reply({"ok": False, "error": "server is shutting down"})
+        envelope, coalesced = await self._submit(op, params, trace)
         response = dict(envelope)
-        response["id"] = request_id
         response["coalesced"] = coalesced
-        return response
+        return reply(response)
 
     # ------------------------------------------------------------------
     # dedup + batching + execution
 
-    async def _submit(self, op: str, params: dict) -> tuple[dict, bool]:
+    async def _submit(
+        self, op: str, params: dict, trace: TraceContext
+    ) -> tuple[dict, bool]:
         """Coalesce onto in-flight work or queue a new computation."""
         key = request_key(op, params)
         if self._obs.metrics.enabled:
             self._obs.metrics.inc("service.requests")
         existing = self._inflight.get(key)
         if existing is not None:
+            self._inflight_traces.setdefault(key, []).append(trace.trace_id)
             if self._obs.metrics.enabled:
                 self._obs.metrics.inc("service.requests.coalesced")
             self._obs.tracer.event(
-                "service.coalesced", op=op, key=key[:12]
+                "service.coalesced",
+                op=op,
+                key=key[:12],
+                trace_id=trace.trace_id,
+                request_id=trace.request_id,
             )
             # shield: one client hanging up must not cancel a
             # computation other clients are waiting on.
             return await asyncio.shield(existing), True
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
-        await self._queue.put((key, op, params, future))
+        self._inflight_traces[key] = [trace.trace_id]
+        await self._queue.put((key, op, params, future, trace))
+        self._update_gauges()
         return await asyncio.shield(future), False
 
     async def _dispatch_loop(self) -> None:
@@ -249,6 +441,7 @@ class CompilationService:
             if self._obs.metrics.enabled:
                 self._obs.metrics.inc("service.batches")
                 self._obs.metrics.observe("service.batch_size", len(batch))
+                self._update_gauges()
             # One task per entry, all submitted to the pool in one
             # wave; batches overlap, so a slow batch never blocks the
             # dispatcher.
@@ -262,13 +455,35 @@ class CompilationService:
             return_exceptions=True,
         )
 
+    def _log_slow(self, record: dict) -> None:
+        if self.slow_log:
+            try:
+                append_jsonl(self.slow_log, record)
+            except OSError:
+                pass  # the log must never take a request down
+
     async def _run_one(
-        self, key: str, op: str, params: dict, future: asyncio.Future
+        self,
+        key: str,
+        op: str,
+        params: dict,
+        future: asyncio.Future,
+        trace: TraceContext,
     ) -> None:
         self._request_seq += 1
         sequence = self._request_seq
         start = time.perf_counter()
         loop = asyncio.get_running_loop()
+        tracer = self._obs.tracer
+        tracer.event(
+            "service.dispatch",
+            op=op,
+            seq=sequence,
+            trace_id=trace.trace_id,
+            request_id=trace.request_id,
+        )
+        self._pool_busy += 1
+        self._update_gauges()
         try:
             result, child = await loop.run_in_executor(
                 self._pool,
@@ -278,27 +493,95 @@ class CompilationService:
                     params,
                     self._session_spec,
                     self._obs.enabled,
+                    trace.to_wire(),
                 ),
             )
             seconds = time.perf_counter() - start
+            cache_hits = cache_misses = 0
             if child is not None:
-                self._obs.absorb(child, worker=f"request-{sequence}")
+                cache_hits = child.metrics.counters.get("pipeline.cache.hits", 0)
+                cache_misses = child.metrics.counters.get(
+                    "pipeline.cache.misses", 0
+                )
+                self._obs.absorb(
+                    child,
+                    worker=f"request-{sequence}",
+                    trace_id=trace.trace_id,
+                    request_id=trace.request_id,
+                )
             if self._obs.metrics.enabled:
                 self._obs.metrics.observe("service.request_seconds", seconds)
+                self._obs.metrics.observe(
+                    labeled("service.op_seconds", op=op), seconds
+                )
+            attached = list(self._inflight_traces.get(key, ()))
+            tracer.event(
+                "service.request_done",
+                op=op,
+                seq=sequence,
+                seconds=round(seconds, 6),
+                trace_id=trace.trace_id,
+                request_id=trace.request_id,
+                attached_trace_ids=attached,
+                coalesced_requests=max(0, len(attached) - 1),
+            )
+            if self.slow_log and seconds >= self.slow_threshold:
+                self._log_slow(
+                    slow_request_record(
+                        kind="slow",
+                        op=op,
+                        seconds=seconds,
+                        trace_id=trace.trace_id,
+                        request_id=trace.request_id,
+                        threshold=self.slow_threshold,
+                        cache_hits=cache_hits,
+                        cache_misses=cache_misses,
+                    )
+                )
             envelope = {
                 "ok": True,
                 "result": result,
                 "seconds": round(seconds, 6),
             }
         except Exception as exc:
+            seconds = time.perf_counter() - start
             if self._obs.metrics.enabled:
                 self._obs.metrics.inc("service.requests.failed")
+                self._obs.metrics.inc(
+                    labeled(
+                        "service.errors",
+                        op=op,
+                        **{"class": type(exc).__name__},
+                    )
+                )
+            tracer.event(
+                "service.request_error",
+                op=op,
+                seq=sequence,
+                seconds=round(seconds, 6),
+                trace_id=trace.trace_id,
+                request_id=trace.request_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._log_slow(
+                slow_request_record(
+                    kind="error",
+                    op=op,
+                    seconds=seconds,
+                    trace_id=trace.trace_id,
+                    request_id=trace.request_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
             envelope = {
                 "ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
             }
         finally:
+            self._pool_busy -= 1
             self._inflight.pop(key, None)
+            self._inflight_traces.pop(key, None)
+            self._update_gauges()
         if not future.cancelled():
             future.set_result(envelope)
 
@@ -332,11 +615,14 @@ def serve_in_thread(
     obs: Observability | None = None,
     max_batch: int = 16,
     timeout: float = 30.0,
+    **service_kwargs,
 ) -> ServiceHandle:
     """Start a :class:`CompilationService` on a daemon thread.
 
     Returns once the socket is accepting connections. The caller owns
-    ``obs`` and may read it after :meth:`ServiceHandle.stop`.
+    ``obs`` and may read it after :meth:`ServiceHandle.stop`. Extra
+    keyword arguments (``slow_log``, ``slow_threshold``, ``prom_out``,
+    ``prom_interval``) pass through to the service.
     """
     started = threading.Event()
     holder: dict = {}
@@ -350,6 +636,7 @@ def serve_in_thread(
                 cache_dir=cache_dir,
                 obs=obs,
                 max_batch=max_batch,
+                **service_kwargs,
             )
             await service.start()
             holder["service"] = service

@@ -1,0 +1,145 @@
+"""``impact-inline top`` — a live view of a running service.
+
+Polls the ``stats`` admin op of a :class:`~repro.service.server
+.CompilationService` on an interval and renders throughput, latency
+percentiles, queue depth, pool utilization, and cache rates as a
+compact terminal dashboard, ``top``-style. Pure functions render; the
+:func:`watch` loop owns the clock and the screen, so tests (and other
+tooling) can call :func:`render_top` on captured snapshots directly.
+
+Throughput and failure rates are *derived* between consecutive
+snapshots: the service exports monotonically increasing totals, and
+``top`` differentiates them over the polling interval.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.service.client import ServiceClient, ServiceError
+
+#: ANSI clear-screen + cursor-home, written before each frame.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _rate(current: float, previous: float, interval: float) -> float:
+    if interval <= 0:
+        return 0.0
+    return max(0.0, (current - previous) / interval)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    if minutes:
+        return f"{minutes}m{secs:02d}s"
+    return f"{secs}s"
+
+
+def render_top(
+    stats: dict, previous: dict | None = None, interval: float = 2.0
+) -> str:
+    """Render one ``stats`` snapshot (enriched form) as a dashboard.
+
+    ``previous`` is the prior snapshot; when given, request/failure
+    throughput is differentiated over ``interval`` seconds.
+    """
+    service = stats.get("service") or {}
+    requests = service.get("requests") or {}
+    pool = service.get("pool") or {}
+    cache = service.get("cache") or {}
+    total = requests.get("total", 0)
+    failed = requests.get("failed", 0)
+    coalesced = requests.get("coalesced", 0)
+    jobs = pool.get("jobs", 0) or 0
+    busy = pool.get("busy", 0)
+
+    rate_suffix = ""
+    if previous is not None:
+        prev_requests = (previous.get("service") or {}).get("requests") or {}
+        throughput = _rate(total, prev_requests.get("total", 0), interval)
+        fail_rate = _rate(failed, prev_requests.get("failed", 0), interval)
+        rate_suffix = f"   {throughput:6.1f} req/s   {fail_rate:5.1f} err/s"
+
+    lines = [
+        "impact-inline top — "
+        f"uptime {_fmt_uptime(service.get('uptime_seconds', 0.0))}"
+        f"   pool {busy}/{jobs} busy ({pool.get('executor', '?')})",
+        f"requests   total {total}   failed {failed}"
+        f"   coalesced {coalesced}{rate_suffix}",
+        f"queue      depth {service.get('queue_depth', 0)}"
+        f"   inflight {service.get('inflight', 0)}",
+        "cache      "
+        f"hits {cache.get('hits', 0)}   misses {cache.get('misses', 0)}"
+        f"   hit rate {100.0 * cache.get('hit_rate', 0.0):.1f}%",
+    ]
+    ops = service.get("ops") or {}
+    if ops:
+        lines.append("")
+        lines.append(
+            f"{'op':<10} {'count':>7} {'mean':>9} {'p50':>9}"
+            f" {'p90':>9} {'p99':>9}"
+        )
+        for op in sorted(ops):
+            stats_op = ops[op]
+            lines.append(
+                f"{op:<10} {stats_op.get('count', 0):>7.0f}"
+                f" {_fmt_seconds(stats_op.get('mean', 0.0)):>9}"
+                f" {_fmt_seconds(stats_op.get('p50', 0.0)):>9}"
+                f" {_fmt_seconds(stats_op.get('p90', 0.0)):>9}"
+                f" {_fmt_seconds(stats_op.get('p99', 0.0)):>9}"
+            )
+    else:
+        lines.append("(no completed operations yet)")
+    return "\n".join(lines)
+
+
+def watch(
+    socket_path: str,
+    interval: float = 2.0,
+    count: int = 0,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """Poll ``stats`` and redraw until interrupted.
+
+    ``count`` bounds the number of frames (0 = until Ctrl-C). Returns
+    the process exit code: 0 on a clean stop, 1 if the first poll
+    cannot reach the server.
+    """
+    out = out if out is not None else sys.stdout
+    previous = None
+    frames = 0
+    try:
+        with ServiceClient(socket_path) as client:
+            while True:
+                stats = client.stats()
+                frame = render_top(stats, previous, interval)
+                if clear:
+                    out.write(_CLEAR)
+                out.write(frame + "\n")
+                out.flush()
+                previous = stats
+                frames += 1
+                if count and frames >= count:
+                    return 0
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ConnectionError, ServiceError) as exc:
+        if frames:
+            return 0  # the server went away mid-watch (e.g. drained)
+        print(f"cannot reach service at {socket_path}: {exc}", file=sys.stderr)
+        return 1

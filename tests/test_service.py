@@ -1,17 +1,27 @@
-"""Tests for the compilation service: ops, server, client, dedup."""
+"""Tests for the compilation service: ops, server, client, dedup,
+health/metrics/stats introspection, trace propagation, and the slow log."""
 
+import json
 import os
+import time
 
 import pytest
 
-from repro.observability import Observability
+from repro.observability import Observability, TraceContext
+from repro.observability.context import valid_id
+from repro.observability.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+)
 from repro.service import (
     ServiceClient,
     ServiceError,
     execute,
+    render_top,
     request_key,
     run_concurrent,
     serve_in_thread,
+    watch,
 )
 from repro.service.server import CompilationService
 
@@ -242,3 +252,330 @@ class TestProcessBackend:
             for name in files
         ]
         assert sharded, "process workers populated the sharded store"
+
+
+class TestHealthOp:
+    def test_health_reports_live_and_ready(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["live"] is True
+        assert health["ready"] is True
+        assert health["checks"]["pool"] is True
+        assert health["checks"]["socket"] is True
+        assert health["uptime_seconds"] >= 0
+        assert health["jobs"] == 2
+        assert health["executor"] == "thread"
+
+    def test_health_reports_cache_dir_writability(self, tmp_path):
+        socket_path = str(tmp_path / "h.sock")
+        cache_dir = str(tmp_path / "cache")
+        handle = serve_in_thread(socket_path, jobs=1, cache_dir=cache_dir)
+        try:
+            with ServiceClient(socket_path) as client:
+                health = client.health()
+            assert health["checks"]["cache_dir"] is True
+        finally:
+            handle.stop()
+
+    def test_draining_service_is_not_ready(self, tmp_path):
+        socket_path = str(tmp_path / "d.sock")
+        handle = serve_in_thread(socket_path, jobs=1)
+        with ServiceClient(socket_path) as client:
+            client.shutdown()
+        handle._thread.join(timeout=30)
+        assert not handle._thread.is_alive()
+
+
+class TestMetricsOp:
+    def test_metrics_op_returns_prometheus_text(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+            scrape = client.metrics()
+        assert scrape["content_type"] == PROMETHEUS_CONTENT_TYPE
+        families = parse_prometheus(scrape["body"])
+        assert families["repro_service_requests_total"]["type"] == "counter"
+        assert "repro_service_queue_depth" in families
+        assert "repro_service_inflight" in families
+        assert "repro_service_uptime_seconds" in families
+
+    def test_metrics_op_exposes_per_op_latency(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+            client.inline(PROGRAM, threshold=1.0)
+            scrape = client.metrics()
+        families = parse_prometheus(scrape["body"])
+        samples = families["repro_service_op_seconds"]["samples"]
+        assert 'repro_service_op_seconds_count{op="compile"}' in samples
+        assert 'repro_service_op_seconds_count{op="inline"}' in samples
+        assert 'repro_service_op_seconds{op="compile",quantile="0.99"}' in samples
+
+    def test_error_counter_labeled_by_op_and_class(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            with pytest.raises(ServiceError):
+                client.compile("int main(void) { return !!!; }")
+            scrape = client.metrics()
+        families = parse_prometheus(scrape["body"])
+        errors = families["repro_service_errors_total"]["samples"]
+        assert any('op="compile"' in name for name in errors)
+
+    def test_prom_out_file_export(self, tmp_path):
+        socket_path = str(tmp_path / "p.sock")
+        prom_out = str(tmp_path / "metrics.prom")
+        handle = serve_in_thread(
+            socket_path,
+            jobs=1,
+            obs=Observability.create(),
+            prom_out=prom_out,
+            prom_interval=0.05,
+        )
+        try:
+            with ServiceClient(socket_path) as client:
+                client.compile(PROGRAM)
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    if os.path.exists(prom_out):
+                        text = open(prom_out).read()
+                        if "repro_service_requests_total" in text:
+                            break
+                    time.sleep(0.05)
+        finally:
+            handle.stop()
+        families = parse_prometheus(open(prom_out).read())
+        assert families["repro_service_requests_total"]["samples"]
+
+
+class TestEnrichedStats:
+    def test_stats_keeps_legacy_top_level_keys(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+            stats = client.stats()
+        assert "counters" in stats and "histograms" in stats
+
+    def test_stats_service_section(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+            client.compile(PROGRAM)
+            stats = client.stats()
+        section = stats["service"]
+        assert section["uptime_seconds"] >= 0
+        assert section["requests"]["total"] >= 2
+        assert section["requests"]["failed"] == 0
+        assert section["queue_depth"] == 0
+        assert section["pool"]["jobs"] == 2
+        assert section["pool"]["executor"] == "thread"
+        ops = section["ops"]
+        assert "compile" in ops
+        for key in ("count", "mean", "p50", "p90", "p99"):
+            assert key in ops["compile"]
+        assert ops["compile"]["count"] >= 1
+
+    def test_stats_cache_section_tracks_hit_rate(self, tmp_path):
+        socket_path = str(tmp_path / "c.sock")
+        cache_dir = str(tmp_path / "cache")
+        handle = serve_in_thread(
+            socket_path, jobs=1, cache_dir=cache_dir, obs=Observability.create()
+        )
+        try:
+            with ServiceClient(socket_path) as client:
+                client.compile(PROGRAM)
+                client.compile(PROGRAM)
+                stats = client.stats()
+        finally:
+            handle.stop()
+        cache = stats["service"]["cache"]
+        assert cache["hits"] + cache["misses"] >= 1
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
+
+class TestTracePropagation:
+    def test_every_response_echoes_its_trace(self, service):
+        socket_path, _obs, _handle = service
+        context = TraceContext.mint()
+        with ServiceClient(socket_path) as client:
+            envelope = client.request(
+                "compile", {"source": PROGRAM}, raw=True, trace=context
+            )
+        assert envelope["trace_id"] == context.trace_id
+        assert envelope["request_id"] == context.request_id
+
+    def test_client_mints_trace_when_absent(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            envelope = client.request("ping", raw=True)
+        assert valid_id(envelope["trace_id"])
+        assert valid_id(envelope["request_id"])
+
+    def test_trace_id_spans_the_whole_request_path(self, service):
+        """One grep over the trace reconstructs the request end-to-end."""
+        socket_path, obs, handle = service
+        context = TraceContext.mint()
+        with ServiceClient(socket_path) as client:
+            client.request("inline", {"source": PROGRAM, "threshold": 1.0},
+                           trace=context)
+        handle.stop()
+        stamped = [
+            record
+            for record in obs.tracer.records
+            if record.get("trace_id") == context.trace_id
+            or record.get("attrs", {}).get("trace_id") == context.trace_id
+        ]
+        types = {record["type"] for record in stamped}
+        names = {record.get("name") for record in stamped}
+        # server-edge events and absorbed worker spans share the id
+        assert "event" in types and "span" in types
+        assert "service.dispatch" in names
+        assert "service.request_done" in names
+        workers = {r.get("worker") for r in stamped if r.get("worker")}
+        assert workers, "absorbed pool-worker records carry the trace id"
+
+    def test_trace_propagates_into_process_workers(self, tmp_path):
+        socket_path = str(tmp_path / "t.sock")
+        obs = Observability.create()
+        handle = serve_in_thread(
+            socket_path, jobs=2, executor="process", obs=obs
+        )
+        context = TraceContext.mint()
+        try:
+            with ServiceClient(socket_path) as client:
+                client.request("compile", {"source": PROGRAM}, trace=context)
+        finally:
+            handle.stop()
+        spans = [
+            record
+            for record in obs.tracer.records
+            if record["type"] == "span"
+            and record.get("trace_id") == context.trace_id
+        ]
+        assert spans, "process-worker spans are stamped with the trace id"
+
+    def test_coalesced_requests_attach_all_trace_ids(self, service):
+        socket_path, obs, handle = service
+        contexts = [TraceContext.mint() for _ in range(6)]
+        envelopes = run_concurrent(
+            socket_path,
+            [
+                ("inline", {"source": PROGRAM, "threshold": 1.0}, context)
+                for context in contexts
+            ],
+        )
+        assert all(env["ok"] for env in envelopes)
+        # every response echoes its own trace id, coalesced or not
+        echoed = sorted(env["trace_id"] for env in envelopes)
+        assert echoed == sorted(c.trace_id for c in contexts)
+        handle.stop()
+        done = [
+            record
+            for record in obs.tracer.records
+            if record.get("name") == "service.request_done"
+        ]
+        attached = {
+            trace_id
+            for record in done
+            for trace_id in record["attrs"].get("attached_trace_ids", [])
+        }
+        assert attached == {c.trace_id for c in contexts}
+
+
+class TestSlowLog:
+    def test_slow_requests_logged_with_trace_and_cache(self, tmp_path):
+        socket_path = str(tmp_path / "s.sock")
+        slow_log = str(tmp_path / "slow.jsonl")
+        cache_dir = str(tmp_path / "cache")
+        handle = serve_in_thread(
+            socket_path,
+            jobs=1,
+            cache_dir=cache_dir,
+            slow_log=slow_log,
+            slow_threshold=0.0,
+        )
+        context = TraceContext.mint()
+        try:
+            with ServiceClient(socket_path) as client:
+                client.request("compile", {"source": PROGRAM}, trace=context)
+        finally:
+            handle.stop()
+        records = [
+            json.loads(line) for line in open(slow_log).read().splitlines()
+        ]
+        assert records
+        record = records[0]
+        assert record["schema"] == 1
+        assert record["kind"] == "slow"
+        assert record["op"] == "compile"
+        assert record["trace_id"] == context.trace_id
+        assert record["seconds"] >= 0
+        assert "cache_hits" in record and "cache_misses" in record
+
+    def test_errors_logged_regardless_of_threshold(self, tmp_path):
+        socket_path = str(tmp_path / "e.sock")
+        slow_log = str(tmp_path / "slow.jsonl")
+        handle = serve_in_thread(
+            socket_path, jobs=1, slow_log=slow_log, slow_threshold=999.0
+        )
+        try:
+            with ServiceClient(socket_path) as client:
+                with pytest.raises(ServiceError):
+                    client.compile("int main(void) { return !!!; }")
+        finally:
+            handle.stop()
+        records = [
+            json.loads(line) for line in open(slow_log).read().splitlines()
+        ]
+        kinds = {record["kind"] for record in records}
+        assert "error" in kinds
+        error = next(r for r in records if r["kind"] == "error")
+        assert "error" in error and error["op"] == "compile"
+
+    def test_fast_requests_not_logged(self, tmp_path):
+        socket_path = str(tmp_path / "f.sock")
+        slow_log = str(tmp_path / "slow.jsonl")
+        handle = serve_in_thread(
+            socket_path, jobs=1, slow_log=slow_log, slow_threshold=999.0
+        )
+        try:
+            with ServiceClient(socket_path) as client:
+                client.ping()
+                client.compile(PROGRAM)
+        finally:
+            handle.stop()
+        assert not os.path.exists(slow_log)
+
+
+class TestTopDashboard:
+    def test_render_top_shows_ops_and_cache(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+            stats = client.stats()
+        text = render_top(stats)
+        assert "uptime" in text
+        assert "compile" in text
+        assert "p99" in text
+
+    def test_render_top_derives_rates_from_previous(self, service):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+            first = client.stats()
+            client.inline(PROGRAM, threshold=1.0)
+            second = client.stats()
+        text = render_top(second, previous=first, interval=1.0)
+        assert "req/s" in text
+
+    def test_watch_single_poll(self, service, capsys):
+        socket_path, _obs, _handle = service
+        with ServiceClient(socket_path) as client:
+            client.compile(PROGRAM)
+        code = watch(socket_path, interval=0.01, count=1, clear=False)
+        assert code == 0
+        assert "compile" in capsys.readouterr().out
+
+    def test_watch_unreachable_socket_fails(self, tmp_path):
+        assert watch(str(tmp_path / "nope.sock"), count=1, clear=False) == 1
