@@ -15,11 +15,14 @@ Subcommands::
     impact-inline report BASELINE [CURRENT] [--format table|markdown|html]
         Compare two bench records; non-zero exit on exact-metric
         regressions (wall time gated only with --fail-on-time).
-    impact-inline check [--benchmarks ...] [--fuzz N] [--seed S]
+    impact-inline check [--benchmarks ...] [--fuzz N] [--seed S] [--engines]
         Differential-correctness harness: run original and inlined
         modules of each benchmark in lockstep and (optionally) fuzz
         random programs through the full pipeline. Exit 1 on any
-        divergence or broken invariant.
+        divergence or broken invariant. With ``--engines``, instead
+        diff the counting interpreter against the fast tier on every
+        benchmark (exit code, stdout, written files, and the full
+        counter dictionaries must be identical).
     impact-inline serve [--socket PATH] [--jobs N] [--executor ...]
         Long-running compilation service on a local Unix socket:
         batches and deduplicates concurrent compile/profile/inline/
@@ -47,6 +50,10 @@ README "Observability". ``tables`` additionally takes ``--jobs N``
 compile/profile cache), and ``--passes SPEC`` (custom pre-optimization
 pipeline); see README "Pipeline architecture". ``bench``/``report``
 are the performance-tracking loop; see README "Performance tracking".
+``run``, ``inline``, ``tables``, ``bench``, ``check``, ``serve``, and
+``call`` accept ``--engine counting|fast`` to pick the VM execution
+engine; both engines produce identical outputs and counters (README
+"Execution engines").
 """
 
 from __future__ import annotations
@@ -100,6 +107,18 @@ def _export_obs(args: argparse.Namespace, obs: Observability | None) -> None:
         print(render_metrics_summary(obs.metrics), file=sys.stderr)
 
 
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="counting",
+        choices=["counting", "fast"],
+        help="VM execution engine: 'counting' is the reference"
+        " interpreter; 'fast' compiles each function to Python closures"
+        " and produces the exact same counters several times faster"
+        " (see README 'Execution engines')",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -129,7 +148,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.il.verifier import verify_module
 
         verify_module(module)
-    result = run_once(module, _run_spec(args), obs=obs)
+    result = run_once(module, _run_spec(args), obs=obs, engine=args.engine)
     sys.stdout.write(result.stdout)
     counters = result.counters
     print(
@@ -174,7 +193,9 @@ def _cmd_inline(args: argparse.Namespace) -> int:
         with open(args.profile_file, encoding="utf-8") as handle:
             profile = load_profile(handle.read(), module)
     else:
-        profile = profile_module(module, [spec], check_exit=False, obs=obs)
+        profile = profile_module(
+            module, [spec], check_exit=False, obs=obs, engine=args.engine
+        )
     params = InlineParameters(
         weight_threshold=args.threshold,
         size_limit_factor=args.growth,
@@ -183,7 +204,9 @@ def _cmd_inline(args: argparse.Namespace) -> int:
     if obs is not None and obs.tracer.enabled:
         for decision in result.decisions:
             obs.tracer.record(decision.to_record())
-    after = profile_module(result.module, [spec], check_exit=False, obs=obs)
+    after = profile_module(
+        result.module, [spec], check_exit=False, obs=obs, engine=args.engine
+    )
     before_calls = profile.avg_calls
     decrease = 1.0 - after.avg_calls / before_calls if before_calls else 0.0
     print(f"expanded call sites : {len(result.records)}")
@@ -248,6 +271,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         argv += ["--cache-dir", args.cache_dir]
     if args.passes:
         argv += ["--passes", args.passes]
+    if args.engine != "counting":
+        argv += ["--engine", args.engine]
     if args.check:
         argv += ["--check"]
     if args.trace:
@@ -274,6 +299,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             size_limit_factor=args.growth,
         ),
         cache_dir=args.cache_dir,
+        engine=args.engine,
     )
     obs = Observability.create()
     record = recorder.run(obs=obs)
@@ -304,14 +330,43 @@ def _cmd_check(args: argparse.Namespace) -> int:
         size_limit_factor=args.growth,
     )
     failed = False
+    if args.engines:
+        # Engine-equivalence mode: run every benchmark under both the
+        # counting interpreter and the fast tier, diffing exit code,
+        # stdout, written files, and the full counter dictionaries.
+        from repro.verify import diff_engines_suite, replay_fuzz_corpus
+
+        reports = diff_engines_suite(
+            names=args.benchmarks, scale=args.scale, obs=obs
+        )
+        for report in reports:
+            print(report.summary())
+            failed = failed or not report.ok
+        if args.fuzz:
+            replays = replay_fuzz_corpus(args.fuzz, seed=args.seed, obs=obs)
+            bad = [report for report in replays if not report.ok]
+            status = "ok" if not bad else "FAIL"
+            print(
+                f"fuzz replay: {status} ({len(replays)} programs from"
+                f" seed {args.seed}, {len(bad)} divergent)"
+            )
+            for report in bad:
+                print("  " + report.summary().replace("\n", "\n  "))
+            failed = failed or bool(bad)
+        _export_obs(args, obs)
+        return 1 if failed else 0
     reports = verify_suite(
-        names=args.benchmarks, scale=args.scale, params=params, obs=obs
+        names=args.benchmarks,
+        scale=args.scale,
+        params=params,
+        obs=obs,
+        engine=args.engine,
     )
     for report in reports:
         print(report.summary())
         failed = failed or not report.ok
     if args.fuzz:
-        fuzz = run_fuzz(args.fuzz, seed=args.seed, obs=obs)
+        fuzz = run_fuzz(args.fuzz, seed=args.seed, obs=obs, engine=args.engine)
         status = "ok" if fuzz.ok else "FAIL"
         print(
             f"fuzz: {status} ({fuzz.count} programs from seed {fuzz.seed},"
@@ -347,6 +402,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_threshold=args.slow_threshold,
         prom_out=args.prom_out,
         prom_interval=args.prom_interval,
+        engine=args.engine,
     )
 
     async def main() -> None:
@@ -397,6 +453,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
         if args.op in ("inline", "check"):
             params["threshold"] = args.threshold
             params["growth"] = args.growth
+        if args.engine != "counting" and args.op != "compile":
+            params["engine"] = args.engine
         if args.dump and args.op == "compile":
             params["dump"] = True
     with ServiceClient(args.socket) as client:
@@ -489,6 +547,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="re-verify IL well-formedness before executing",
     )
+    _add_engine_flag(run_parser)
     _add_obs_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -517,6 +576,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="re-verify IL well-formedness after every inline phase",
     )
+    _add_engine_flag(inline_parser)
     _add_obs_flags(inline_parser)
     inline_parser.set_defaults(func=_cmd_inline)
 
@@ -602,6 +662,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="re-verify IL well-formedness after every pipeline pass",
     )
+    _add_engine_flag(tables_parser)
     _add_obs_flags(tables_parser)
     tables_parser.set_defaults(func=_cmd_tables)
 
@@ -659,6 +720,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also write the run's JSONL trace (for report --flame)",
     )
+    _add_engine_flag(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
 
     check_parser = sub.add_parser(
@@ -688,6 +750,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     check_parser.add_argument("--threshold", type=float, default=10.0)
     check_parser.add_argument("--growth", type=float, default=1.25)
+    check_parser.add_argument(
+        "--engines",
+        action="store_true",
+        help="engine-equivalence mode: run each benchmark under both"
+        " the counting interpreter and the fast tier and diff exit"
+        " code, stdout, written files, and every counter channel"
+        " (--fuzz N replays the fuzz corpus under both engines too)",
+    )
+    _add_engine_flag(check_parser)
     _add_obs_flags(check_parser)
     check_parser.set_defaults(func=_cmd_check)
 
@@ -762,6 +833,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="refresh period for --prom-out (default: 5.0)",
     )
+    _add_engine_flag(serve_parser)
     _add_obs_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -794,6 +866,7 @@ def main(argv: list[str] | None = None) -> int:
     call_parser.add_argument("--threshold", type=float, default=10.0)
     call_parser.add_argument("--growth", type=float, default=1.25)
     call_parser.add_argument("--dump", action="store_true")
+    _add_engine_flag(call_parser)
     call_parser.set_defaults(func=_cmd_call)
 
     top_parser = sub.add_parser(

@@ -132,6 +132,14 @@ def main(argv: list[str] | None = None) -> int:
         " on-disk cache (default DIR: .repro-cache)",
     )
     parser.add_argument(
+        "--engine",
+        default="counting",
+        choices=["counting", "fast"],
+        help="VM execution tier for profiling runs: 'counting' is the"
+        " reference interpreter, 'fast' the closure-compiled tier"
+        " (identical counters, several times the throughput)",
+    )
+    parser.add_argument(
         "--passes",
         default=None,
         metavar="SPEC",
@@ -183,7 +191,10 @@ def main(argv: list[str] | None = None) -> int:
             render_points(
                 "Ablation A: weight threshold T.",
                 threshold_sweep(
-                    args.scale, jobs=args.jobs, executor=args.executor
+                    args.scale,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    engine=args.engine,
                 ),
             )
         )
@@ -192,7 +203,10 @@ def main(argv: list[str] | None = None) -> int:
             render_points(
                 "Ablation B: profile-guided vs. static heuristics.",
                 baseline_comparison(
-                    args.scale, jobs=args.jobs, executor=args.executor
+                    args.scale,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    engine=args.engine,
                 ),
             )
         )
@@ -201,7 +215,10 @@ def main(argv: list[str] | None = None) -> int:
             render_points(
                 "Ablation C: code-growth limit.",
                 growth_limit_sweep(
-                    args.scale, jobs=args.jobs, executor=args.executor
+                    args.scale,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    engine=args.engine,
                 ),
             )
         )
@@ -210,7 +227,10 @@ def main(argv: list[str] | None = None) -> int:
             render_points(
                 "Ablation D: linearization order.",
                 linearization_comparison(
-                    args.scale, jobs=args.jobs, executor=args.executor
+                    args.scale,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    engine=args.engine,
                 ),
             )
         )
@@ -233,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         pass_spec=args.passes,
         check=args.check,
         executor=args.executor,
+        engine=args.engine,
     )
     wall = time.perf_counter() - start
     print(_TABLES[args.what](results))
@@ -264,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
                     "jobs": args.jobs,
                     "executor": args.executor,
                     "pass_spec": args.passes,
+                    "engine": args.engine,
                 },
                 wall_seconds=wall,
             )

@@ -40,23 +40,23 @@ class AblationPoint:
     call_decrease: float
 
 
-def _prepare(benchmark, scale):
+def _prepare(benchmark, scale, engine="counting"):
     module = benchmark.compile()
     optimize_module(module)
     specs = benchmark.make_runs(scale)
-    profile = profile_module(module, specs)
+    profile = profile_module(module, specs, engine=engine)
     return module, specs, profile
 
 
-def _prepare_task(name, _obs, *, scale):
+def _prepare_task(name, _obs, *, scale, engine="counting"):
     """Compile+pre-optimize+profile one benchmark, addressed by name."""
-    return _prepare(benchmark_by_name(name), scale)
+    return _prepare(benchmark_by_name(name), scale, engine)
 
 
-def _prepare_suite(scale, jobs=1, executor="thread"):
+def _prepare_suite(scale, jobs=1, executor="thread", engine="counting"):
     """Compile+pre-optimize+profile every benchmark (optionally parallel)."""
     return parallel_map(
-        functools.partial(_prepare_task, scale=scale),
+        functools.partial(_prepare_task, scale=scale, engine=engine),
         benchmark_names(),
         jobs,
         worker_label="ablation-prepare",
@@ -75,9 +75,11 @@ def _measure_all(prepared, one, jobs=1, executor="thread"):
     )
 
 
-def _measure(module, inlined_module, specs, profile) -> tuple[float, float]:
+def _measure(
+    module, inlined_module, specs, profile, engine="counting"
+) -> tuple[float, float]:
     before = profile.avg_calls
-    after_profile = profile_module(inlined_module, specs)
+    after_profile = profile_module(inlined_module, specs, engine=engine)
     after = after_profile.avg_calls
     decrease = max(0.0, 1.0 - after / before) if before else 0.0
     original = module.total_code_size()
@@ -85,7 +87,9 @@ def _measure(module, inlined_module, specs, profile) -> tuple[float, float]:
     return increase, decrease
 
 
-def _expander_task(entry, _obs, *, params=None, linearize_method=None):
+def _expander_task(
+    entry, _obs, *, params=None, linearize_method=None, engine="counting"
+):
     """Inline one prepared benchmark with the paper's expander."""
     module, specs, profile = entry
     if linearize_method is not None:
@@ -94,7 +98,7 @@ def _expander_task(entry, _obs, *, params=None, linearize_method=None):
         ).run()
     else:
         result = InlineExpander(module, profile, params).run()
-    return _measure(module, result.module, specs, profile)
+    return _measure(module, result.module, specs, profile, engine)
 
 
 def _mean_point(label, pairs) -> AblationPoint:
@@ -108,14 +112,16 @@ def threshold_sweep(
     thresholds: tuple[float, ...] = (1, 10, 100, 1000),
     jobs: int = 1,
     executor: str = "thread",
+    engine: str = "counting",
 ) -> list[AblationPoint]:
     """Ablation A: sweep the arc-weight threshold T."""
     points = []
-    prepared = _prepare_suite(scale, jobs, executor)
+    prepared = _prepare_suite(scale, jobs, executor, engine)
     for threshold in thresholds:
         one = functools.partial(
             _expander_task,
             params=InlineParameters(weight_threshold=threshold),
+            engine=engine,
         )
         pairs = _measure_all(prepared, one, jobs, executor)
         points.append(_mean_point(f"T={threshold:g}", pairs))
@@ -127,14 +133,16 @@ def growth_limit_sweep(
     factors: tuple[float, ...] = (1.0, 1.1, 1.25, 1.5, 2.0),
     jobs: int = 1,
     executor: str = "thread",
+    engine: str = "counting",
 ) -> list[AblationPoint]:
     """Ablation C: sweep the program-size cap."""
     points = []
-    prepared = _prepare_suite(scale, jobs, executor)
+    prepared = _prepare_suite(scale, jobs, executor, engine)
     for factor in factors:
         one = functools.partial(
             _expander_task,
             params=InlineParameters(size_limit_factor=factor),
+            engine=engine,
         )
         pairs = _measure_all(prepared, one, jobs, executor)
         points.append(_mean_point(f"limit={factor:g}x", pairs))
@@ -142,13 +150,18 @@ def growth_limit_sweep(
 
 
 def linearization_comparison(
-    scale: str = "small", jobs: int = 1, executor: str = "thread"
+    scale: str = "small",
+    jobs: int = 1,
+    executor: str = "thread",
+    engine: str = "counting",
 ) -> list[AblationPoint]:
     """Ablation D: the paper's pure-weight order vs. the hybrid order."""
     points = []
-    prepared = _prepare_suite(scale, jobs, executor)
+    prepared = _prepare_suite(scale, jobs, executor, engine)
     for method in ("weight", "hybrid"):
-        one = functools.partial(_expander_task, linearize_method=method)
+        one = functools.partial(
+            _expander_task, linearize_method=method, engine=engine
+        )
         pairs = _measure_all(prepared, one, jobs, executor)
         points.append(_mean_point(method, pairs))
     return points
@@ -158,7 +171,7 @@ def _size25_inline(module, params):
     return size_threshold_inline(module, 25, params)
 
 
-def _baseline_task(entry, _obs, *, label):
+def _baseline_task(entry, _obs, *, label, engine="counting"):
     """Inline one prepared benchmark with the named baseline heuristic."""
     module, specs, profile = entry
     params = InlineParameters()
@@ -174,7 +187,7 @@ def _baseline_task(entry, _obs, *, label):
         inlined = InlineExpander(module, estimated, params).run().module
     else:
         inlined = heuristic(module, params).module
-    return _measure(module, inlined, specs, profile)
+    return _measure(module, inlined, specs, profile, engine)
 
 
 _BASELINES = (
@@ -188,19 +201,24 @@ _BASELINES = (
 
 
 def baseline_comparison(
-    scale: str = "small", jobs: int = 1, executor: str = "thread"
+    scale: str = "small",
+    jobs: int = 1,
+    executor: str = "thread",
+    engine: str = "counting",
 ) -> list[AblationPoint]:
     """Ablation B: profile-guided vs. static heuristics, same size cap."""
     points = []
-    prepared = _prepare_suite(scale, jobs, executor)
+    prepared = _prepare_suite(scale, jobs, executor, engine)
     for label, _heuristic in _BASELINES:
-        one = functools.partial(_baseline_task, label=label)
+        one = functools.partial(_baseline_task, label=label, engine=engine)
         pairs = _measure_all(prepared, one, jobs, executor)
         points.append(_mean_point(label, pairs))
     return points
 
 
-def heldout_input_check(scale: str = "small") -> list[AblationPoint]:
+def heldout_input_check(
+    scale: str = "small", engine: str = "counting"
+) -> list[AblationPoint]:
     """Ablation E: profile on half the inputs, evaluate on the rest.
 
     The paper's methodology hinges on representative inputs (§1.2,
@@ -220,11 +238,11 @@ def heldout_input_check(scale: str = "small") -> list[AblationPoint]:
                 continue
             train = specs[0::2]
             test = specs[1::2]
-            profile = profile_module(module, train)
+            profile = profile_module(module, train, engine=engine)
             inlined = InlineExpander(module, profile).run().module
             evaluate = train if subset == "train-inputs" else test
-            base = profile_module(module, evaluate)
-            after = profile_module(inlined, evaluate)
+            base = profile_module(module, evaluate, engine=engine)
+            after = profile_module(inlined, evaluate, engine=engine)
             decs.append(
                 max(0.0, 1.0 - after.avg_calls / base.avg_calls)
                 if base.avg_calls

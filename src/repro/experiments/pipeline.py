@@ -114,6 +114,7 @@ def run_benchmark(
     session: CompilationSession | None = None,
     pass_spec: str | None = None,
     check: bool = False,
+    engine: str = "counting",
 ) -> BenchmarkResult:
     """Run the full experiment pipeline for one benchmark.
 
@@ -158,10 +159,11 @@ def run_benchmark(
         with tracer.span("benchmark.profile", name=benchmark.name):
             if session is not None:
                 profile = session.profile(
-                    module, specs, scale=scale, params=params, obs=obs
+                    module, specs, scale=scale, params=params, obs=obs,
+                    engine=engine,
                 )
             else:
-                profile = profile_module(module, specs, obs=obs)
+                profile = profile_module(module, specs, obs=obs, engine=engine)
 
         with tracer.span("benchmark.inline", name=benchmark.name):
             expander = InlineExpander(
@@ -176,15 +178,20 @@ def run_benchmark(
         with tracer.span("benchmark.post_profile", name=benchmark.name):
             if session is not None:
                 post_profile = session.profile(
-                    inline_result.module, specs, scale=scale, params=params, obs=obs
+                    inline_result.module, specs, scale=scale, params=params,
+                    obs=obs, engine=engine,
                 )
             else:
-                post_profile = profile_module(inline_result.module, specs, obs=obs)
+                post_profile = profile_module(
+                    inline_result.module, specs, obs=obs, engine=engine
+                )
 
         comparison = OutputComparison(matches=True)
         if check_outputs:
             with tracer.span("benchmark.check_outputs", name=benchmark.name):
-                comparison = compare_outputs(module, inline_result.module, specs)
+                comparison = compare_outputs(
+                    module, inline_result.module, specs, engine=engine
+                )
             for divergence in comparison.divergences:
                 tracer.event(
                     "output_divergence", benchmark=benchmark.name, detail=divergence
@@ -219,7 +226,7 @@ def run_benchmark(
 
 
 def compare_outputs(
-    module_a, module_b, specs: list[RunSpec]
+    module_a, module_b, specs: list[RunSpec], engine: str = "counting"
 ) -> OutputComparison:
     """Run both modules over every spec and describe any divergence.
 
@@ -229,8 +236,8 @@ def compare_outputs(
     """
     divergences: list[str] = []
     for index, spec in enumerate(specs):
-        result_a = run_once(module_a, spec)
-        result_b = run_once(module_b, spec)
+        result_a = run_once(module_a, spec, engine=engine)
+        result_b = run_once(module_b, spec, engine=engine)
         label = spec.label or f"input {index}"
         problems: list[str] = []
         if result_a.exit_code != result_b.exit_code:
@@ -309,6 +316,7 @@ def _benchmark_task(
     session_spec: dict | None,
     pass_spec: str | None,
     check: bool,
+    engine: str,
 ) -> BenchmarkResult:
     """One suite item, addressed by benchmark name so it pickles.
 
@@ -327,6 +335,7 @@ def _benchmark_task(
         session=_session_from_spec(session_spec),
         pass_spec=pass_spec,
         check=check,
+        engine=engine,
     )
 
 
@@ -343,6 +352,7 @@ def run_suite(
     pass_spec: str | None = None,
     check: bool = False,
     executor: str = "thread",
+    engine: str = "counting",
 ) -> list[BenchmarkResult]:
     """Run the pipeline for every benchmark (or a named subset).
 
@@ -398,6 +408,7 @@ def run_suite(
                         session=session,
                         pass_spec=pass_spec,
                         check=check,
+                        engine=engine,
                     )
                 )
         else:
@@ -414,6 +425,7 @@ def run_suite(
                     session_spec=session.spec() if session else None,
                     pass_spec=pass_spec,
                     check=check,
+                    engine=engine,
                 )
             else:
 
@@ -429,6 +441,7 @@ def run_suite(
                         session=session,
                         pass_spec=pass_spec,
                         check=check,
+                        engine=engine,
                     )
 
             results = parallel_map(

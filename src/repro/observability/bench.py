@@ -246,6 +246,7 @@ class BenchRecorder:
         pass_spec: str | None = None,
         params=None,
         cache_dir: str | None = None,
+        engine: str = "counting",
     ):
         self.config_name = config_name
         self.scale = scale
@@ -255,6 +256,7 @@ class BenchRecorder:
         self.pass_spec = pass_spec
         self.params = params
         self.cache_dir = cache_dir
+        self.engine = engine
 
     def config(self) -> dict:
         from repro.inliner.params import InlineParameters
@@ -267,6 +269,7 @@ class BenchRecorder:
             "jobs": self.jobs,
             "executor": self.executor,
             "pass_spec": self.pass_spec,
+            "engine": self.engine,
             "threshold": params.weight_threshold,
             "size_limit_factor": params.size_limit_factor,
         }
@@ -298,6 +301,7 @@ class BenchRecorder:
             session=session,
             pass_spec=self.pass_spec,
             executor=self.executor,
+            engine=self.engine,
         )
         wall = time.perf_counter() - start
         return record_from_results(

@@ -447,15 +447,21 @@ class CompilationSession:
         scale: str = "",
         params=None,
         obs: Observability | None = None,
+        engine: str = "counting",
     ):
-        """Cached :func:`~repro.profiler.profile.profile_module` call."""
+        """Cached :func:`~repro.profiler.profile.profile_module` call.
+
+        ``engine`` is deliberately absent from the cache key: both VM
+        execution tiers produce identical counters, so a profile cached
+        under one engine is valid for the other.
+        """
         obs = resolve(obs if obs is not None else self._obs)
         key = profile_cache_key(module, specs, scale, params)
         cached = self._lookup(self._profiles, "profile", key, obs)
         if cached is None:
             from repro.profiler.profile import profile_module
 
-            cached = profile_module(module, specs, obs=obs)
+            cached = profile_module(module, specs, obs=obs, engine=engine)
             self._store(self._profiles, "profile", key, cached, obs)
         return _copy_profile(cached)
 

@@ -77,6 +77,7 @@ def run_once(
     fuel: int = 2_000_000_000,
     collect_branches: bool = False,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> RunResult:
     """Execute ``module`` once under ``spec`` and return the result."""
     obs = resolve(obs)
@@ -87,6 +88,7 @@ def run_once(
         fuel=fuel,
         collect_branches=collect_branches,
         metrics=obs.metrics if obs.metrics.enabled else None,
+        engine=engine,
     )
     return machine.run()
 
@@ -97,6 +99,7 @@ def profile_module(
     fuel: int = 2_000_000_000,
     check_exit: bool = True,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> ProfileData:
     """Profile ``module`` over every input in ``specs``.
 
@@ -111,7 +114,9 @@ def profile_module(
         for index, spec in enumerate(specs):
             label = spec.label or f"run {index}"
             with obs.tracer.span("profile.run", label=label) as attrs:
-                result = run_once(module, spec, fuel=fuel, obs=obs)
+                result = run_once(
+                    module, spec, fuel=fuel, obs=obs, engine=engine
+                )
                 attrs["exit_code"] = result.exit_code
                 attrs["il"] = result.counters.il
                 attrs["calls"] = result.counters.calls

@@ -87,6 +87,19 @@ def _inline_params(params: dict):
     )
 
 
+def _engine(params: dict) -> str:
+    """Validated execution engine for the request (default counting)."""
+    from repro.vm.machine import ENGINES
+
+    engine = params.get("engine") or "counting"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"params['engine'] must be one of {', '.join(ENGINES)};"
+            f" got {engine!r}"
+        )
+    return engine
+
+
 def op_compile(params: dict, obs: Observability, session=None) -> dict:
     """Compile the source; report sizes and (optionally) the IL text."""
     module = _compiled(params, obs, session)
@@ -107,7 +120,7 @@ def op_profile(params: dict, obs: Observability, session=None) -> dict:
     from repro.profiler.profile import run_once
 
     module = _compiled(params, obs, session)
-    run = run_once(module, _run_spec(params), obs=obs)
+    run = run_once(module, _run_spec(params), obs=obs, engine=_engine(params))
     result = {"exit_code": run.exit_code, "stdout": run.stdout}
     result.update(run.counters.to_summary())
     return result
@@ -120,9 +133,14 @@ def op_inline(params: dict, obs: Observability, session=None) -> dict:
 
     module = _compiled(params, obs, session)
     spec = _run_spec(params)
-    profile = profile_module(module, [spec], check_exit=False, obs=obs)
+    engine = _engine(params)
+    profile = profile_module(
+        module, [spec], check_exit=False, obs=obs, engine=engine
+    )
     outcome = inline_module(module, profile, _inline_params(params), obs=obs)
-    after = profile_module(outcome.module, [spec], check_exit=False, obs=obs)
+    after = profile_module(
+        outcome.module, [spec], check_exit=False, obs=obs, engine=engine
+    )
     before_calls = profile.avg_calls
     return {
         "expanded": len(outcome.records),
@@ -147,9 +165,12 @@ def op_check(params: dict, obs: Observability, session=None) -> dict:
 
     module = _compiled(params, obs, session)
     spec = _run_spec(params)
-    profile = profile_module(module, [spec], check_exit=False, obs=obs)
+    engine = _engine(params)
+    profile = profile_module(
+        module, [spec], check_exit=False, obs=obs, engine=engine
+    )
     outcome = inline_module(module, profile, _inline_params(params), obs=obs)
-    comparison = compare_outputs(module, outcome.module, [spec])
+    comparison = compare_outputs(module, outcome.module, [spec], engine=engine)
     return {
         "ok": comparison.matches,
         "expanded": len(outcome.records),

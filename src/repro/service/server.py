@@ -105,12 +105,21 @@ class CompilationService:
         slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
         prom_out: str | None = None,
         prom_interval: float = 5.0,
+        engine: str = "counting",
     ):
+        from repro.vm.machine import ENGINES
+
         validate_jobs(jobs)
         validate_executor(executor)
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {', '.join(ENGINES)}; got {engine!r}"
+            )
         self.socket_path = socket_path
         self.jobs = jobs
         self.executor = executor
+        #: Default execution engine for requests that do not name one.
+        self.engine = engine
         self.max_batch = max(1, max_batch)
         self.slow_log = slow_log
         self.slow_threshold = slow_threshold
@@ -277,6 +286,7 @@ class CompilationService:
             "uptime_seconds": self._uptime(),
             "jobs": self.jobs,
             "executor": self.executor,
+            "engine": self.engine,
             "draining": self._draining,
         }
 
@@ -361,6 +371,12 @@ class CompilationService:
         request_id = request.get("id")
         op = request.get("op")
         params = request.get("params") or {}
+        # Ingress default: a server started with --engine fast runs
+        # engine-agnostic requests on the fast tier. Explicit per-request
+        # engines always win, and the injection happens before
+        # request_key so coalescing sees the resolved engine.
+        if self.engine != "counting" and "engine" not in params:
+            params = {**params, "engine": self.engine}
         # The server edge: adopt the client's trace context, or mint one
         # so even untraced clients get correlated telemetry + echo.
         trace = TraceContext.from_wire(request.get("trace")) or TraceContext.mint()

@@ -114,6 +114,7 @@ def verify_inlining(
     name: str = "module",
     profile: ProfileData | None = None,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> DifferentialReport:
     """Run the differential oracle on one compiled module.
 
@@ -121,14 +122,17 @@ def verify_inlining(
     is supplied), inlines under it with the per-pass IL checker enabled,
     then executes original and inlined modules in lockstep over every
     input. Never raises on a divergence — everything the oracle finds
-    lands in the returned :class:`DifferentialReport`.
+    lands in the returned :class:`DifferentialReport`. All executions
+    use ``engine`` (both tiers produce identical counters, so the
+    oracle's verdict is engine-independent; ``fast`` just gets there
+    sooner).
     """
     params = params or InlineParameters()
     obs = resolve(obs)
     report = DifferentialReport(name=name, runs=len(specs))
     with obs.tracer.span("verify.differential", name=name) as attrs:
         if profile is None:
-            profile = profile_module(module, specs, obs=obs)
+            profile = profile_module(module, specs, obs=obs, engine=engine)
         result: InlineResult = inline_module(
             module, profile, params, seed=seed, check=True, obs=obs
         )
@@ -147,8 +151,8 @@ def verify_inlining(
         )
         for index, spec in enumerate(specs):
             label = spec.label or f"input {index}"
-            original = run_once(module, spec, obs=obs)
-            inlined = run_once(result.module, spec, obs=obs)
+            original = run_once(module, spec, obs=obs, engine=engine)
+            inlined = run_once(result.module, spec, obs=obs, engine=engine)
             report.calls_before += original.counters.calls
             report.calls_after += inlined.counters.calls
             report.divergences.extend(_compare_run(label, original, inlined))
@@ -178,6 +182,7 @@ def verify_benchmark(
     pre_optimize: bool = True,
     seed: int = 0,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> DifferentialReport:
     """Compile one suite benchmark and run the oracle on it."""
     obs = resolve(obs)
@@ -191,6 +196,7 @@ def verify_benchmark(
         seed=seed,
         name=benchmark.name,
         obs=obs,
+        engine=engine,
     )
 
 
@@ -201,6 +207,7 @@ def verify_suite(
     pre_optimize: bool = True,
     seed: int = 0,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> list[DifferentialReport]:
     """Run the oracle over every suite benchmark (or a named subset)."""
     if names is not None:
@@ -212,7 +219,13 @@ def verify_suite(
             )
     return [
         verify_benchmark(
-            benchmark, scale, params, pre_optimize, seed=seed, obs=obs
+            benchmark,
+            scale,
+            params,
+            pre_optimize,
+            seed=seed,
+            obs=obs,
+            engine=engine,
         )
         for benchmark in benchmark_suite()
         if names is None or benchmark.name in names

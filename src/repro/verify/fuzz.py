@@ -231,13 +231,15 @@ def check_program(
     seed: int,
     params: InlineParameters | None = None,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> tuple[list[FuzzFailure], DifferentialReport | None]:
     """Push one program through every stage, differentially.
 
     Stage order: compile (hardened verifier runs inside), baseline run,
     optimize + re-verify + re-run, differential inline oracle on the
     optimized module, optimize-after-inlining + re-verify + re-run.
-    Every stage's behavior is compared against the baseline.
+    Every stage's behavior is compared against the baseline. All
+    executions use ``engine``.
     """
     params = params or FUZZ_PARAMS
     obs = resolve(obs)
@@ -250,7 +252,7 @@ def check_program(
         module = compile_program(source, filename=f"fuzz{index}.c", obs=obs)
     except ReproError as error:
         return [fail("compile", str(error))], None
-    baseline = run_once(module, spec, obs=obs)
+    baseline = run_once(module, spec, obs=obs, engine=engine)
     expected = _behavior(baseline)
     if baseline.exit_code != 0:
         return [fail("baseline", f"exit code {baseline.exit_code}")], None
@@ -261,7 +263,7 @@ def check_program(
         verify_module(optimized)
     except ReproError as error:
         return [fail("optimize", str(error))], None
-    if _behavior(run_once(optimized, spec, obs=obs)) != expected:
+    if _behavior(run_once(optimized, spec, obs=obs, engine=engine)) != expected:
         return [fail("optimize", "behavior diverged from baseline")], None
 
     try:
@@ -272,6 +274,7 @@ def check_program(
             seed=seed,
             name=f"fuzz-{index}",
             obs=obs,
+            engine=engine,
         )
     except ReproError as error:
         return [fail("inline", str(error))], None
@@ -284,7 +287,7 @@ def check_program(
     try:
         # Re-inline on a clone so the post-inline optimizer has a module
         # to mutate (the oracle keeps its own result internal).
-        profile = profile_module(inlined, [spec], obs=obs)
+        profile = profile_module(inlined, [spec], obs=obs, engine=engine)
         result = inline_module(
             inlined, profile, params, seed=seed, check=True, obs=obs
         )
@@ -293,7 +296,7 @@ def check_program(
     except ReproError as error:
         failures.append(fail("optimize-after-inline", str(error)))
         return failures, report
-    if _behavior(run_once(result.module, spec, obs=obs)) != expected:
+    if _behavior(run_once(result.module, spec, obs=obs, engine=engine)) != expected:
         failures.append(
             fail("optimize-after-inline", "behavior diverged from baseline")
         )
@@ -305,6 +308,7 @@ def run_fuzz(
     seed: int = 0,
     params: InlineParameters | None = None,
     obs: Observability | None = None,
+    engine: str = "counting",
 ) -> FuzzReport:
     """Run a fuzzing campaign of ``count`` programs from ``seed``."""
     obs = resolve(obs)
@@ -314,7 +318,7 @@ def run_fuzz(
             program_seed = seed + index
             source = generate_program(program_seed)
             failures, differential = check_program(
-                source, index, program_seed, params, obs=obs
+                source, index, program_seed, params, obs=obs, engine=engine
             )
             report.failures.extend(failures)
             if differential is not None:

@@ -5,10 +5,24 @@ memory, an explicit control stack, and a virtual OS providing the
 external ("system call") functions. While running it counts dynamic
 intermediate instructions, control transfers, and per-call-site
 invocation counts — the raw material of the paper's profiles.
+
+Two execution engines share the front-end and produce identical
+counters: the reference ``counting`` interpreter, and the opt-in
+``fast`` tier (:mod:`repro.vm.fast`) that compiles each function's
+basic blocks into Python closures. Select one with
+``Machine(..., engine="fast")``; :data:`~repro.vm.machine.ENGINES`
+lists the valid names.
 """
 
 from repro.vm.counters import Counters
-from repro.vm.machine import Machine, RunResult
+from repro.vm.machine import DEFAULT_HEAP_LIMIT, ENGINES, Machine, RunResult
 from repro.vm.os import VirtualOS
 
-__all__ = ["Counters", "Machine", "RunResult", "VirtualOS"]
+__all__ = [
+    "Counters",
+    "DEFAULT_HEAP_LIMIT",
+    "ENGINES",
+    "Machine",
+    "RunResult",
+    "VirtualOS",
+]

@@ -83,9 +83,19 @@ def _eputc(machine, char: int) -> int:
 @_builtin("read_stdin", 2)
 def _read_stdin(machine, buffer: int, maximum: int) -> int:
     """Block read from stdin: the syscall behind buffered stdio."""
+    # A negative maximum reads nothing and reports 0 bytes, matching
+    # the write-side clamp below.
+    maximum = max(maximum, 0)
+    os = machine.os
+    count = min(maximum, os.stdin_avail())
+    if count > 0 and machine.mem_bounds_ok(buffer, count):
+        machine.write_bytes(buffer, os.getchar_bulk(count))
+        return count
+    # Byte-at-a-time fallback for windows that touch unmapped memory:
+    # writes what fits, then traps, exactly as a real loop would.
     count = 0
     while count < maximum:
-        char = machine.os.getchar()
+        char = os.getchar()
         if char < 0:
             break
         machine.write_bytes(buffer + count, bytes((char,)))
@@ -95,9 +105,17 @@ def _read_stdin(machine, buffer: int, maximum: int) -> int:
 
 @_builtin("read_block", 3)
 def _read_block(machine, fd: int, buffer: int, maximum: int) -> int:
+    maximum = max(maximum, 0)
+    os = machine.os
+    avail = os.favail(fd) if maximum > 0 else None
+    if avail is not None:
+        count = min(maximum, avail)
+        if count > 0 and machine.mem_bounds_ok(buffer, count):
+            machine.write_bytes(buffer, os.fgetc_bulk(fd, count))
+            return count
     count = 0
     while count < maximum:
-        char = machine.os.fgetc(fd)
+        char = os.fgetc(fd)
         if char < 0:
             break
         machine.write_bytes(buffer + count, bytes((char,)))
@@ -107,22 +125,29 @@ def _read_block(machine, fd: int, buffer: int, maximum: int) -> int:
 
 @_builtin("write_stdout", 2)
 def _write_stdout(machine, buffer: int, length: int) -> int:
-    for offset in range(max(length, 0)):
+    # Clamp negative lengths to an empty write and report the count
+    # actually written, not the caller's request.
+    length = max(length, 0)
+    if length > 0 and machine.mem_bounds_ok(buffer, length):
+        return machine.os.putchar_bulk(machine.read_bytes(buffer, length))
+    for offset in range(length):
         machine.os.putchar(machine.read_byte(buffer + offset))
     return length
 
 
 @_builtin("write_block", 3)
 def _write_block(machine, fd: int, buffer: int, length: int) -> int:
-    for offset in range(max(length, 0)):
+    length = max(length, 0)
+    if length > 0 and machine.mem_bounds_ok(buffer, length):
+        return machine.os.fputc_bulk(fd, machine.read_bytes(buffer, length))
+    for offset in range(length):
         machine.os.fputc(machine.read_byte(buffer + offset), fd)
     return length
 
 
 @_builtin("puts", 1)
 def _puts(machine, address: int) -> int:
-    for byte in machine.read_cstring_bytes(address):
-        machine.os.putchar(byte)
+    machine.os.putchar_bulk(machine.read_cstring_bytes(address))
     machine.os.putchar(10)
     return 0
 
@@ -136,11 +161,7 @@ def _print_int(machine, value: int) -> int:
 
 @_builtin("print_str", 1)
 def _print_str(machine, address: int) -> int:
-    count = 0
-    for byte in machine.read_cstring_bytes(address):
-        machine.os.putchar(byte)
-        count += 1
-    return count
+    return machine.os.putchar_bulk(machine.read_cstring_bytes(address))
 
 
 @_builtin("open", 2)
@@ -166,11 +187,11 @@ def _fputc(machine, char: int, fd: int) -> int:
 
 @_builtin("fputs", 2)
 def _fputs(machine, address: int, fd: int) -> int:
-    count = 0
-    for byte in machine.read_cstring_bytes(address):
-        machine.os.fputc(byte, fd)
-        count += 1
-    return count
+    data = machine.read_cstring_bytes(address)
+    # Empty strings never touch the fd, so a bad fd must not trap here.
+    if not data:
+        return 0
+    return machine.os.fputc_bulk(fd, data)
 
 
 @_builtin("fsize", 1)

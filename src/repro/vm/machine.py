@@ -16,10 +16,18 @@ Memory model: one flat byte-addressable space.
 Function pointers are encoded as negative integers (``-1 - index`` into
 the function table), so they survive 32-bit store/load round trips and
 can never collide with data addresses.
+
+Two execution engines share this link step: the counting interpreter
+below (``engine="counting"``, the reference) and the closure-compiled
+fast tier in :mod:`repro.vm.fast` (``engine="fast"``), which produces
+the exact same :class:`~repro.vm.counters.Counters` on every
+successful run at roughly an order of magnitude higher
+dynamic-instruction throughput.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.errors import ILError, VMTrap
@@ -51,6 +59,23 @@ _OP_SWITCH = 15
 _NULL_GUARD = 16
 _INT_MASK = 0xFFFFFFFF
 _INT_SIGN = 0x80000000
+
+#: Recognized execution engines (see the module docstring).
+ENGINES = ("counting", "fast")
+
+#: Ceiling on bump-allocator growth (bytes). Fuel caps instruction
+#: counts but not allocation: a tight ``malloc`` loop can otherwise
+#: grow host memory without bound. 256 MiB clears every suite
+#: benchmark and fuzz program by a wide margin.
+DEFAULT_HEAP_LIMIT = 256 * 1024 * 1024
+
+#: Per-module cache of compiled (link-stage) code. Compilation is pure
+#: in the module plus the link knobs captured in the key, so machines
+#: built against the same module share one compiled form instead of
+#: recompiling every function per construction. ``base`` is the only
+#: field mutated after compilation and is a pure function of the same
+#: key, so re-linking a shared entry rewrites identical values.
+_COMPILED_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def _wrap(value: int) -> int:
@@ -130,9 +155,20 @@ class RunResult:
 class Machine:
     """Links and executes one IL module.
 
-    A machine is single-shot: build one, call :meth:`run` once. The
-    compile step is reusable across runs via :func:`compile_module` if
-    many inputs must be executed against the same module.
+    A machine is single-shot: build one, call :meth:`run` once (a
+    second call raises :class:`~repro.errors.ILError` — the first run
+    mutates globals and the heap, so re-running would execute a
+    different program and double-report into the metrics registry).
+    The compile step is reusable across runs via :func:`compile_module`
+    if many inputs must be executed against the same module.
+
+    ``engine`` selects how the linked code is executed: ``"counting"``
+    (default) is the reference interpreter below; ``"fast"`` is the
+    closure-compiled tier in :mod:`repro.vm.fast`, which produces
+    identical counters and outputs on every successful run. The fast
+    tier has no per-instruction dispatch point, so it cannot drive the
+    instruction-cache tracer — combining ``engine="fast"`` with
+    ``icache`` is rejected at construction.
     """
 
     def __init__(
@@ -147,9 +183,23 @@ class Machine:
         layout_seed: int = 0,
         function_order: list[str] | None = None,
         metrics=None,
+        engine: str = "counting",
+        heap_limit: int = DEFAULT_HEAP_LIMIT,
     ):
+        if engine not in ENGINES:
+            raise ILError(
+                f"unknown engine {engine!r}, expected one of {ENGINES}"
+            )
+        if engine == "fast" and icache is not None:
+            raise ILError(
+                "engine='fast' cannot drive the instruction-cache tracer;"
+                " use engine='counting' for icache simulation"
+            )
         self.module = module
         self.os = os if os is not None else VirtualOS()
+        self._engine = engine
+        self._heap_limit = heap_limit
+        self._ran = False
         self._stack_limit = _NULL_GUARD + stack_size
         self._fuel = fuel
         self._collect_branches = collect_branches
@@ -197,10 +247,37 @@ class Machine:
         heap_start = (address + 15) // 16 * 16
         self._mem = bytearray(heap_start)
         self._heap_top = heap_start
+        self._heap_start = heap_start
         for data in module.globals.values():
             self._init_global(data)
-        for name, function in module.functions.items():
-            self._compiled[name] = self._compile_function(function)
+        compile_key = (
+            self._stack_limit,
+            self._collect_branches,
+            self._code_layout,
+            self._layout_seed,
+            tuple(self._function_order) if self._function_order else None,
+        )
+        # The stamp revalidates cache hits: transforms in this codebase
+        # clone modules before mutating, but in-place edits would
+        # otherwise serve stale code. Rebinding ``body`` or splicing it
+        # changes an id or a length here.
+        stamp = tuple(
+            (name, id(fn), id(fn.body), len(fn.body))
+            for name, fn in module.functions.items()
+        )
+        cached = None
+        try:
+            cached = _COMPILED_MEMO.setdefault(module, {})
+        except TypeError:  # un-weakref-able module stand-in (tests)
+            pass
+        hit = cached.get(compile_key) if cached is not None else None
+        if hit is not None and hit[0] == stamp:
+            self._compiled = hit[1]
+        else:
+            for name, function in module.functions.items():
+                self._compiled[name] = self._compile_function(function)
+            if cached is not None:
+                cached[compile_key] = (stamp, self._compiled)
         # Lay functions out in a simulated code space for the
         # instruction-cache tracer (4 bytes per IL instruction,
         # line-aligned starts).
@@ -327,6 +404,17 @@ class Machine:
                 dst = reg(instr.dst) if instr.dst is not None else -1
                 args = tuple(operand(a) for a in instr.args)
                 if instr.name in self.module.functions:
+                    callee = self.module.functions[instr.name]
+                    if len(args) != len(callee.params):
+                        # Indirect calls trap on arity mismatch at run
+                        # time; direct calls are fully resolved here, so
+                        # reject them at link time instead of letting
+                        # extra args overwrite callee temporaries.
+                        raise ILError(
+                            f"{function.name}: call to {instr.name} at site"
+                            f" {instr.site} passes {len(args)} args,"
+                            f" expected {len(callee.params)}"
+                        )
                     code.append((_OP_CALLU, dst, instr.name, args, instr.site))
                 else:
                     entry = BUILTINS.get(instr.name)
@@ -376,6 +464,8 @@ class Machine:
     def heap_alloc(self, size: int) -> int:
         address = self._heap_top
         rounded = (max(size, 1) + 7) // 8 * 8
+        if self._heap_top + rounded - self._heap_start > self._heap_limit:
+            raise VMTrap("out of heap memory")
         self._heap_top += rounded
         self._mem.extend(b"\x00" * rounded)
         return address
@@ -399,10 +489,30 @@ class Machine:
             raise VMTrap(f"block read from bad address {address}")
         return self._mem[address]
 
+    def read_bytes(self, address: int, length: int) -> bytes:
+        if address < _NULL_GUARD or address + length > len(self._mem):
+            raise VMTrap(f"block read from bad address {address}")
+        return bytes(self._mem[address : address + length])
+
+    def mem_bounds_ok(self, address: int, length: int) -> bool:
+        """Whether ``[address, address+length)`` is fully mapped.
+
+        Block-transfer builtins use this to pick the bulk path; windows
+        that touch unmapped memory fall back to byte-at-a-time loops so
+        partial-progress-then-trap behaviour stays exactly as specified.
+        """
+        return address >= _NULL_GUARD and address + length <= len(self._mem)
+
     # ------------------------------------------------------------------
     # execution
 
     def run(self) -> RunResult:
+        if self._ran:
+            raise ILError(
+                "Machine is single-shot: run() was already called;"
+                " build a new Machine to execute again"
+            )
+        self._ran = True
         entry = self._compiled.get(self.module.entry)
         if entry is None:
             raise ILError(f"entry function {self.module.entry!r} not found")
@@ -415,7 +525,12 @@ class Machine:
                 f" has {entry.nparams}"
             )
         try:
-            exit_code = self._execute(entry, args)
+            if self._engine == "fast":
+                from repro.vm.fast import run_fast
+
+                exit_code = run_fast(self, entry, args)
+            else:
+                exit_code = self._execute(entry, args)
         except ExitSignal as signal:
             exit_code = signal.code
         if self._metrics is not None:

@@ -61,6 +61,23 @@ class VirtualOS:
         self.stderr.append(char & 0xFF)
         return char & 0xFF
 
+    # Bulk variants of the byte-stream calls. Each is observably a loop
+    # over its single-byte counterpart; the block-transfer builtins use
+    # them so a 4 KiB stdio refill is one slice instead of 4096 calls.
+
+    def stdin_avail(self) -> int:
+        return len(self.stdin) - self._stdin_pos
+
+    def getchar_bulk(self, maximum: int) -> bytes:
+        pos = self._stdin_pos
+        data = self.stdin[pos : pos + maximum]
+        self._stdin_pos = pos + len(data)
+        return data
+
+    def putchar_bulk(self, data: bytes) -> int:
+        self.stdout += data
+        return len(data)
+
     # ------------------------------------------------------------------
     # files
 
@@ -99,6 +116,32 @@ class VirtualOS:
         byte = handle.data[handle.pos]
         handle.pos += 1
         return byte
+
+    def favail(self, fd: int) -> int | None:
+        """Bytes left before EOF on ``fd``, or None for a bad fd."""
+        handle = self._fds.get(fd)
+        if handle is None:
+            return None
+        return len(handle.data) - handle.pos
+
+    def fgetc_bulk(self, fd: int, maximum: int) -> bytes:
+        handle = self._handle(fd)
+        pos = handle.pos
+        data = bytes(handle.data[pos : pos + maximum])
+        handle.pos = pos + len(data)
+        return data
+
+    def fputc_bulk(self, fd: int, data: bytes) -> int:
+        if fd == 1:
+            return self.putchar_bulk(data)
+        if fd == 2:
+            self.stderr += data
+            return len(data)
+        handle = self._handle(fd)
+        if handle.mode != O_WRITE:
+            raise VMTrap(f"fputc on read-only fd {fd}")
+        handle.data += data
+        return len(data)
 
     def fputc(self, char: int, fd: int) -> int:
         if fd == 1:

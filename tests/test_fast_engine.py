@@ -1,0 +1,260 @@
+"""The fast execution tier: engine equivalence and trap parity.
+
+The fast engine's admissibility contract is total observational
+equivalence with the reference counting interpreter: identical exit
+code, stdout, written files, and the exact same integer counters —
+``il``/``ct``/``calls``/``returns`` plus the per-site, per-function,
+and per-branch dictionaries — on every successful run, and a trap in
+the same situations on aborted runs.
+"""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.errors import ILError, VMTrap
+from repro.profiler.profile import RunSpec, run_once
+from repro.vm.machine import ENGINES, Machine
+from repro.vm.os import VirtualOS
+
+from helpers import c_main
+
+
+def _counter_state(counters) -> dict:
+    return {
+        "il": counters.il,
+        "ct": counters.ct,
+        "calls": counters.calls,
+        "returns": counters.returns,
+        "site_counts": dict(counters.site_counts),
+        "func_counts": dict(counters.func_counts),
+        "branch_counts": dict(counters.branch_counts),
+    }
+
+
+def _run_engine(module, engine, *, stdin=b"", files=None, argv=None, **kwargs):
+    os = VirtualOS(stdin=stdin, files=dict(files or {}), argv=list(argv or []))
+    kwargs.setdefault("fuel", 50_000_000)
+    kwargs.setdefault("collect_branches", True)
+    return Machine(module, os, engine=engine, **kwargs).run()
+
+
+def assert_engines_agree(source, **run_kwargs):
+    module = compile_program(source)
+    reference = _run_engine(module, "counting", **run_kwargs)
+    fast = _run_engine(module, "fast", **run_kwargs)
+    assert fast.exit_code == reference.exit_code
+    assert bytes(fast.os.stdout) == bytes(reference.os.stdout)
+    assert bytes(fast.os.stderr) == bytes(reference.os.stderr)
+    assert fast.os.written_files == reference.os.written_files
+    assert _counter_state(fast.counters) == _counter_state(reference.counters)
+    return reference
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        module = compile_program(c_main("putchar('x');"))
+        with pytest.raises(ILError, match="unknown engine"):
+            Machine(module, engine="warp")
+
+    def test_engines_constant_lists_both(self):
+        assert ENGINES == ("counting", "fast")
+
+    def test_fast_rejects_icache(self):
+        from repro.icache import InstructionCache
+
+        module = compile_program(c_main("putchar('x');"))
+        cache = InstructionCache(64, 16, 1)
+        with pytest.raises(ILError, match="icache"):
+            Machine(module, icache=cache, engine="fast")
+
+    def test_run_once_threads_engine(self):
+        module = compile_program(c_main("print_int(6 * 7);"))
+        result = run_once(module, RunSpec(), engine="fast")
+        assert result.stdout == "42"
+
+
+class TestEngineEquivalence:
+    def test_straight_line_output_and_counters(self):
+        assert_engines_agree(c_main("print_int(strlen(\"abcd\")); putchar(10);"))
+
+    def test_loops_and_branch_profile(self):
+        source = c_main(
+            "int i; int odd = 0;"
+            " for (i = 0; i < 50; i++) if (i % 2) odd++;"
+            " print_int(odd);"
+        )
+        reference = assert_engines_agree(source)
+        assert reference.counters.branch_counts  # mode actually profiled
+
+    def test_recursion(self):
+        source = c_main(
+            "print_int(fib(15));",
+            prelude="int fib(int n) { if (n < 2) return n;"
+            " return fib(n - 1) + fib(n - 2); }",
+        )
+        assert_engines_agree(source)
+
+    def test_deep_recursion_past_python_depth_limit(self):
+        # 2000 frames exceeds the fast tier's direct-call depth budget
+        # (_DEPTH_LIMIT), forcing it through the explicit trampoline;
+        # counters must still match the interpreter exactly.
+        from repro.vm.fast import _DEPTH_LIMIT
+
+        depth = 2 * _DEPTH_LIMIT + 100
+        source = c_main(
+            f"print_int(down({depth}));",
+            prelude="int down(int n) { if (n == 0) return 0;"
+            " return down(n - 1) + 1; }",
+        )
+        assert_engines_agree(source)
+
+    def test_function_pointers_and_files(self):
+        source = c_main(
+            'int (*emit)(int c, int fd) = fputc;'
+            ' int fd = open("out.txt", O_WRITE);'
+            " emit('h', fd); emit('i', fd); close(fd);"
+            ' int rd = open("in.txt", O_READ);'
+            " print_int(fgetc(rd)); close(rd);"
+        )
+        assert_engines_agree(source, files={"in.txt": b"Z"})
+
+    def test_stdin_and_argv(self):
+        source = """
+        #include <sys.h>
+        int main(int argc, char **argv) {
+            int c = getchar();
+            while (c != EOF) { putchar(c); c = getchar(); }
+            print_int(argc);
+            print_str(argv[1]);
+            return 0;
+        }
+        """
+        assert_engines_agree(source, stdin=b"stream", argv=["alpha"])
+
+    def test_exit_mid_program(self):
+        assert_engines_agree(c_main("putchar('a'); exit(7); putchar('b');"))
+
+    def test_suite_benchmarks_identical(self):
+        from repro.workloads.suite import benchmark_suite
+
+        for benchmark in benchmark_suite():
+            module = benchmark.compile()
+            for spec in benchmark.make_runs("small"):
+                reference = run_once(
+                    module, spec, collect_branches=True, engine="counting"
+                )
+                fast = run_once(
+                    module, spec, collect_branches=True, engine="fast"
+                )
+                label = f"{benchmark.name}/{spec.label}"
+                assert fast.exit_code == reference.exit_code, label
+                assert bytes(fast.os.stdout) == bytes(reference.os.stdout), label
+                assert fast.os.written_files == reference.os.written_files, label
+                assert _counter_state(fast.counters) == _counter_state(
+                    reference.counters
+                ), label
+
+    def test_fuzz_corpus_replays_identically(self):
+        from repro.verify import replay_fuzz_corpus
+
+        reports = replay_fuzz_corpus(8, seed=0)
+        assert reports, "corpus generated no runnable programs"
+        assert all(report.ok for report in reports), [
+            report.summary() for report in reports if not report.ok
+        ]
+
+    def test_inlined_modules_agree(self):
+        # The fast tier must stay sound on post-expansion shapes too
+        # (spliced bodies, renamed temporaries, copied call sites).
+        from repro.inliner.manager import inline_module
+        from repro.inliner.params import InlineParameters
+        from repro.profiler.profile import profile_module
+
+        source = c_main(
+            "int i; int s = 0;"
+            " for (i = 0; i < 40; i++) s += bump(i);"
+            " print_int(s);",
+            prelude="int bump(int v) { return v + 1; }",
+        )
+        module = compile_program(source)
+        profile = profile_module(module, [RunSpec()])
+        result = inline_module(
+            module, profile, InlineParameters(weight_threshold=1.0)
+        )
+        assert result.records, "expected at least one expansion"
+        reference = run_once(
+            result.module, RunSpec(), collect_branches=True, engine="counting"
+        )
+        fast = run_once(
+            result.module, RunSpec(), collect_branches=True, engine="fast"
+        )
+        assert fast.stdout == reference.stdout
+        assert _counter_state(fast.counters) == _counter_state(
+            reference.counters
+        )
+
+
+class TestFastTrapParity:
+    def _both_trap(self, source, match, **kwargs):
+        module = compile_program(source)
+        for engine in ENGINES:
+            with pytest.raises(VMTrap, match=match):
+                _run_engine(module, engine, **kwargs)
+
+    def test_fuel_exhaustion(self):
+        self._both_trap(c_main("while (1) ;"), "fuel", fuel=10_000)
+
+    def test_control_stack_overflow(self):
+        # Non-tail recursion with a real frame: the local array keeps
+        # the frontend from looping the self-call and makes each frame
+        # consume control-stack bytes, so sp actually overflows.
+        self._both_trap(
+            c_main(
+                "print_int(spin(0));",
+                prelude="int spin(int n) { int pad[32]; pad[0] = n;"
+                " return spin(n + 1) + pad[0]; }",
+            ),
+            "stack overflow",
+            stack_size=1 << 16,
+        )
+
+    def test_icall_arity_mismatch(self):
+        self._both_trap(
+            """
+            #include <sys.h>
+            int two(int a, int b) { return a + b; }
+            int main(void) {
+                int (*p)(int v) = (int (*)(int v))two;
+                return p(1);
+            }
+            """,
+            "args",
+        )
+
+    def test_icall_bad_pointer(self):
+        self._both_trap(
+            c_main("int (*p)(int v) = (int (*)(int v))12345; p(1);"),
+            "bad pointer",
+        )
+
+    def test_unavailable_external(self):
+        module = compile_program(
+            "int mystery(int x);\nint main(void) { return mystery(1); }",
+            link_libc=False,
+        )
+        for engine in ENGINES:
+            with pytest.raises(VMTrap, match="unavailable external"):
+                Machine(module, VirtualOS(), engine=engine).run()
+
+    def test_out_of_range_store(self):
+        self._both_trap(
+            c_main("int *p = (int *)99999999; *p = 1;"), "bad address"
+        )
+
+    def test_heap_exhaustion(self):
+        module = compile_program(c_main("while (1) malloc(1 << 16);"))
+        for engine in ENGINES:
+            with pytest.raises(VMTrap, match="out of heap"):
+                Machine(
+                    module, VirtualOS(), engine=engine, heap_limit=1 << 20
+                ).run()

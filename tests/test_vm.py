@@ -327,6 +327,70 @@ class TestExternalsWithoutLibc:
             Machine(module).run()
 
 
+class TestSoundnessFixes:
+    """Regression tests for the VM soundness bugfix batch."""
+
+    def test_direct_call_arity_mismatch_rejected_at_link(self):
+        # A direct CALL with the wrong argument count is a malformed
+        # module; it must be rejected when the Machine links it, not
+        # silently overwrite callee temporaries at run time.
+        from repro.il.instructions import Opcode
+
+        module = compile_program(c_main(
+            "print_int(one(1));",
+            prelude="int one(int a) { return a; }",
+        ))
+        for instr in module.functions["main"].body:
+            if instr.op is Opcode.CALL and instr.name == "one":
+                instr.args.append(7)
+        with pytest.raises(ILError, match="expected 1"):
+            Machine(module)
+
+    def test_write_stdout_negative_length_reports_zero(self):
+        source = c_main("char b[4]; print_int(write_stdout(b, -5));")
+        result = run_c(source)
+        assert result.stdout == "0"
+
+    def test_write_block_negative_length_reports_zero(self):
+        source = c_main("char b[4]; print_int(write_block(1, b, -3));")
+        result = run_c(source)
+        assert result.stdout == "0"
+
+    def test_read_stdin_negative_maximum_reads_nothing(self):
+        source = c_main(
+            "char b[4]; print_int(read_stdin(b, -2));"
+            " print_int(getchar());"
+        )
+        # The clamp must not consume input: the next getchar still
+        # sees the first stdin byte.
+        assert c_output(source, stdin=b"A") == "065"
+
+    def test_read_block_negative_maximum_reads_nothing(self):
+        source = c_main(
+            'int fd = open("f", O_READ);'
+            " print_int(read_block(fd, (char *)0, -1));"
+            " print_int(fgetc(fd));"
+        )
+        assert c_output(source, files={"f": b"B"}) == "066"
+
+    def test_machine_is_single_shot(self):
+        module = compile_program(c_main("putchar('x');"))
+        machine = Machine(module, VirtualOS())
+        machine.run()
+        with pytest.raises(ILError, match="single-shot"):
+            machine.run()
+
+    def test_heap_limit_traps(self):
+        module = compile_program(c_main("while (1) malloc(4096);"))
+        with pytest.raises(VMTrap, match="out of heap memory"):
+            Machine(module, VirtualOS(), heap_limit=1 << 16).run()
+
+    def test_default_heap_limit_allows_normal_allocation(self):
+        assert c_output(c_main(
+            "char *p = malloc(1 << 20); p[0] = 'y'; putchar(p[0]);"
+        )) == "y"
+
+
 class TestIndirectCallCorners:
     def test_function_pointer_to_external(self):
         # Taking the address of an external (body-less) function and
